@@ -1,0 +1,56 @@
+//! E7 — the runtime claim: "the execution time of the placement algorithm
+//! is proportional to the number of valid grid elements and to the number
+//! of panels to be placed ... less than 120 s under all configurations".
+//!
+//! Benchmarks the placement stage (suitability + greedy) across grid sizes
+//! and module counts. Run: `cargo bench -p pv-bench --bench placement_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_floorplan::{
+    greedy_placement_with_map, FloorplanConfig, SuitabilityMap,
+};
+use pv_gis::{RoofBuilder, SolarDataset, SolarExtractor, Site};
+use pv_model::Topology;
+use pv_units::{Meters, SimulationClock};
+
+fn dataset_for_width(width_m: f64) -> SolarDataset {
+    let roof = RoofBuilder::new(Meters::new(width_m), Meters::new(10.0)).build();
+    // A coarse clock keeps per-iteration cost manageable; the suitability
+    // stage is linear in steps so scaling shape is preserved.
+    SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(30, 60))
+        .seed(1)
+        .extract(&roof)
+}
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suitability_vs_grid_cells");
+    for width_m in [10.0, 20.0, 40.0] {
+        let dataset = dataset_for_width(width_m);
+        let config = FloorplanConfig::paper(Topology::new(8, 2).unwrap()).unwrap();
+        let cells = dataset.valid().count();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &dataset, |b, data| {
+            b.iter(|| SuitabilityMap::compute(data, &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_module_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_vs_module_count");
+    let dataset = dataset_for_width(40.0);
+    for n in [8usize, 16, 32] {
+        let config = FloorplanConfig::paper(Topology::new(8, n / 8).unwrap()).unwrap();
+        let map = SuitabilityMap::compute(&dataset, &config);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| greedy_placement_with_map(&dataset, &config, &map).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grid_scaling, bench_module_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the GIS substrate: horizon-map precomputation and
+//! full dataset extraction — the stages that gate end-to-end wall time.
+//!
+//! Run: `cargo bench -p pv-bench --bench solar_pipeline`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_gis::{HorizonMap, Obstacle, RoofBuilder, SolarExtractor, Site};
+use pv_units::{Meters, SimulationClock};
+
+fn obstructed_roof(width_m: f64) -> pv_gis::Dsm {
+    RoofBuilder::new(Meters::new(width_m), Meters::new(10.0))
+        .obstacle(Obstacle::chimney(
+            Meters::new(width_m / 2.0),
+            Meters::new(2.0),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(1.8),
+        ))
+        .obstacle(Obstacle::pipe_run(
+            Meters::new(1.0),
+            Meters::new(6.0),
+            Meters::new(width_m / 2.0),
+            Meters::new(0.5),
+            Meters::new(0.5),
+        ))
+        .build()
+}
+
+fn bench_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horizon_map");
+    for width_m in [10.0, 20.0] {
+        let roof = obstructed_roof(width_m);
+        let cells = roof.dims().num_cells();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &roof, |b, roof| {
+            b.iter(|| HorizonMap::compute(roof, 32));
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_extraction");
+    group.sample_size(10);
+    for days in [7u32, 30] {
+        let roof = obstructed_roof(15.0);
+        let clock = SimulationClock::days_at_minutes(days, 60);
+        group.bench_with_input(BenchmarkId::from_parameter(days), &clock, |b, &clock| {
+            let extractor = SolarExtractor::new(Site::turin(), clock).seed(3);
+            b.iter(|| extractor.extract(&roof));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_horizon, bench_extract
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! A2 — ablation of the greedy algorithm's two structural choices on
+//! Roof 2 (N = 32): series-first enumeration and the distance threshold.
+//!
+//! The paper credits series-first enumeration with avoiding the
+//! weak-module bottleneck (its Roof 1 discussion) and uses the distance
+//! threshold to contain wiring overhead; this harness isolates both.
+//!
+//! Usage: `cargo run -p pv-bench --bin ablation_greedy --release [--fast|--smoke]`
+
+use pv_bench::{extract_scenario, Resolution};
+use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
+use pv_gis::{PaperRoof, RoofScenario};
+use pv_model::Topology;
+
+fn main() {
+    let resolution = Resolution::from_args();
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let dataset = extract_scenario(&scenario, resolution);
+    let topology = Topology::new(8, 4).expect("valid topology");
+
+    println!(
+        "A2: greedy-structure ablation — {} (Roof 2, N = 32)\n",
+        resolution.label()
+    );
+    println!(
+        "{:<34} {:>12} {:>10} {:>10}",
+        "variant", "energy MWh", "wire m", "mismatch"
+    );
+
+    for (label, config) in [
+        (
+            "paper (series-first + threshold)",
+            FloorplanConfig::paper(topology).expect("config"),
+        ),
+        (
+            "no distance threshold",
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_distance_threshold(None),
+        ),
+        (
+            "interleaved strings",
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_series_first(false),
+        ),
+        (
+            "interleaved + no threshold",
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_series_first(false)
+                .with_distance_threshold(None),
+        ),
+        (
+            "tight threshold (1.0x)",
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_distance_threshold(Some(1.0)),
+        ),
+    ] {
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let plan = greedy_placement_with_map(&dataset, &config, &map).expect("fits");
+        let report = EnergyEvaluator::new(&config)
+            .evaluate(&dataset, &plan)
+            .expect("sized");
+        println!(
+            "{:<34} {:>12.3} {:>10.1} {:>9.2}%",
+            label,
+            report.energy.as_mwh(),
+            report.extra_wire.as_meters(),
+            report.mismatch_fraction() * 100.0
+        );
+    }
+}

@@ -1,0 +1,35 @@
+use pv_bench::{extract_scenario, Resolution};
+use pv_floorplan::*;
+use pv_gis::{PaperRoof, RoofScenario};
+use pv_model::Topology;
+
+fn main() {
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let dataset = extract_scenario(&scenario, Resolution::Fast);
+    let config = FloorplanConfig::paper(Topology::new(8, 4).unwrap()).unwrap();
+    let map = SuitabilityMap::compute(&dataset, &config);
+    let anchors = map.anchor_scores(config.footprint());
+    let mut scores: Vec<f64> = anchors.iter().copied().filter(|s| s.is_finite()).collect();
+    scores.sort_by(f64::total_cmp);
+    let q = |p: f64| scores[((scores.len()-1) as f64 * p) as usize];
+    println!("anchor scores: n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
+        scores.len(), q(0.0), q(0.1), q(0.5), q(0.9), q(1.0));
+    // cell-level spread
+    let mut cs: Vec<f64> = map.scores().iter().copied().filter(|s| s.is_finite()).collect();
+    cs.sort_by(f64::total_cmp);
+    let cq = |p: f64| cs[((cs.len()-1) as f64 * p) as usize];
+    println!("cell scores:   n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
+        cs.len(), cq(0.0), cq(0.1), cq(0.5), cq(0.9), cq(1.0));
+
+    let trad = traditional_placement_with_map(&dataset, &config, &map).unwrap();
+    let prop = greedy_placement_with_map(&dataset, &config, &map).unwrap();
+    println!("trad mean anchor score: {:.1}", trad.mean_anchor_score);
+    println!("prop mean anchor score: {:.1}", prop.mean_anchor_score);
+    let ev = EnergyEvaluator::new(&config);
+    for (name, plan) in [("trad", &trad), ("prop", &prop)] {
+        let r = ev.evaluate(&dataset, plan).unwrap();
+        println!("{name}: net {:.3} MWh gross {:.3} unconstrained {:.3} mismatch {:.2}% wire {:.1}m loss {:.2} kWh",
+            r.energy.as_mwh(), r.gross_energy.as_mwh(), r.sum_of_module_energy.as_mwh(),
+            r.mismatch_fraction()*100.0, r.extra_wire.as_meters(), r.wiring_loss.as_kwh());
+    }
+}

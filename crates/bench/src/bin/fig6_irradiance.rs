@@ -1,0 +1,40 @@
+//! E4 — regenerates **Fig. 6-(b)**: the 75th-percentile irradiance maps of
+//! the three roofs (brighter = more irradiated).
+//!
+//! Writes one PGM image per roof to `target/figures/` and prints ASCII
+//! previews.
+//!
+//! Usage: `cargo run -p pv-bench --bin fig6_irradiance --release [--fast|--smoke]`
+
+use pv_bench::{extract_scenario, figures_dir, Resolution};
+use pv_floorplan::{render, FloorplanConfig, SuitabilityMap};
+use pv_gis::paper_roofs;
+use pv_model::Topology;
+
+fn main() {
+    let resolution = Resolution::from_args();
+    let config = FloorplanConfig::paper(Topology::new(8, 2).expect("valid topology"))
+        .expect("paper config");
+    let dir = figures_dir();
+    println!("Fig 6-(b) reproduction — {}\n", resolution.label());
+
+    for scenario in paper_roofs() {
+        let dataset = extract_scenario(&scenario, resolution);
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let g75 = map.irradiance_percentile();
+
+        let (lo, hi) = g75.finite_range().unwrap_or((0.0, 0.0));
+        println!(
+            "{} — p75(G) range {:.0}..{:.0} W/m2, Ng = {}",
+            scenario.name(),
+            lo,
+            hi,
+            dataset.valid().count()
+        );
+        println!("{}", render::ascii_heatmap(g75, 110));
+
+        let path = dir.join(format!("fig6_roof{}.pgm", scenario.roof.number()));
+        render::write_pgm(g75, &path).expect("write PGM");
+        println!("wrote {}\n", path.display());
+    }
+}

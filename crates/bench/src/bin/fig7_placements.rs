@@ -1,0 +1,49 @@
+//! E5 — regenerates **Fig. 7**: traditional (a-c) vs proposed (d-f)
+//! placements for N = 32 on the three roofs. Digits are series-string
+//! indices (panels with the same digit are connected in series), `.` is
+//! free suitable area, `x` is unusable.
+//!
+//! Usage: `cargo run -p pv-bench --bin fig7_placements --release [--fast|--smoke]`
+
+use pv_bench::{extract_scenario, Resolution};
+use pv_floorplan::{
+    greedy_placement_with_map, render, traditional_placement_with_map, EnergyEvaluator,
+    FloorplanConfig, SuitabilityMap,
+};
+use pv_gis::paper_roofs;
+use pv_model::Topology;
+
+fn main() {
+    let resolution = Resolution::from_args();
+    let config = FloorplanConfig::paper(Topology::new(8, 4).expect("valid topology"))
+        .expect("paper config");
+    println!("Fig 7 reproduction (N = 32, 4 strings of 8) — {}\n", resolution.label());
+
+    for scenario in paper_roofs() {
+        let dataset = extract_scenario(&scenario, resolution);
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let evaluator = EnergyEvaluator::new(&config);
+
+        let traditional = traditional_placement_with_map(&dataset, &config, &map)
+            .expect("compact block fits");
+        let proposed =
+            greedy_placement_with_map(&dataset, &config, &map).expect("greedy fits");
+        let e_trad = evaluator.evaluate(&dataset, &traditional).expect("sized");
+        let e_prop = evaluator.evaluate(&dataset, &proposed).expect("sized");
+
+        println!(
+            "=== {} — traditional {:.3} MWh ===",
+            scenario.name(),
+            e_trad.energy.as_mwh()
+        );
+        println!("{}", render::ascii_placement(&traditional, dataset.valid(), 110));
+        println!(
+            "=== {} — proposed {:.3} MWh ({:+.2}%), extra wire {:.1} m ===",
+            scenario.name(),
+            e_prop.energy.as_mwh(),
+            e_prop.energy.percent_gain_over(e_trad.energy),
+            e_prop.extra_wire.as_meters()
+        );
+        println!("{}", render::ascii_placement(&proposed, dataset.valid(), 110));
+    }
+}

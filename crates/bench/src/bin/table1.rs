@@ -1,0 +1,35 @@
+//! E1 — regenerates **Table I**: traditional vs proposed yearly production
+//! on the three roofs for N = 16 and N = 32 (8-series strings).
+//!
+//! Usage: `cargo run -p pv-bench --bin table1 --release [--fast|--smoke]`
+
+use pv_bench::{compare_row, extract_scenario, Resolution};
+use pv_floorplan::Table1Report;
+use pv_gis::paper_roofs;
+use std::time::Instant;
+
+fn main() {
+    let resolution = Resolution::from_args();
+    println!("Table I reproduction — {}", resolution.label());
+    println!("(absolute MWh depend on the synthetic weather; the paper's");
+    println!(" published % gains are shown in the right column)\n");
+
+    let mut report = Table1Report::new();
+    let start = Instant::now();
+    for scenario in paper_roofs() {
+        let t0 = Instant::now();
+        let dataset = extract_scenario(&scenario, resolution);
+        let extract_s = t0.elapsed().as_secs_f64();
+        for n in [16usize, 32] {
+            let t1 = Instant::now();
+            report.push(compare_row(&scenario, &dataset, n));
+            eprintln!(
+                "  {} N={n}: extract {extract_s:.1}s, place+evaluate {:.1}s",
+                scenario.name(),
+                t1.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!("{report}");
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,148 @@
+//! Shared experiment plumbing for the paper-reproduction harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index); this library hosts the pieces
+//! they share: scenario extraction at the paper's resolution or a faster
+//! preview resolution, and output-directory handling.
+
+use pv_floorplan::{
+    greedy_placement_with_map, traditional_placement_with_map, ComparisonRow, EnergyEvaluator,
+    FloorplanConfig, SuitabilityMap,
+};
+use pv_gis::{RoofScenario, SolarDataset, SolarExtractor, Site};
+use pv_model::Topology;
+use pv_units::SimulationClock;
+use std::path::PathBuf;
+
+/// The weather seed shared by all experiments (all three roofs are
+/// neighbours and see the same weather, as in the paper).
+pub const WEATHER_SEED: u64 = 2018;
+
+/// Resolution of a harness run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// The paper's configuration: one year at 15-minute steps.
+    Paper,
+    /// One year at hourly steps — ~4x faster, same spatial structure.
+    Fast,
+    /// 30 days at hourly steps — smoke-test scale.
+    Smoke,
+}
+
+impl Resolution {
+    /// Parses from the harness CLI convention: `--fast` / `--smoke`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--smoke") {
+            Self::Smoke
+        } else if args.iter().any(|a| a == "--fast") {
+            Self::Fast
+        } else {
+            Self::Paper
+        }
+    }
+
+    /// The simulation clock for this resolution.
+    #[must_use]
+    pub fn clock(self) -> SimulationClock {
+        match self {
+            Self::Paper => SimulationClock::paper(),
+            Self::Fast => SimulationClock::year_at_minutes(60),
+            Self::Smoke => SimulationClock::days_at_minutes(30, 60),
+        }
+    }
+
+    /// Human-readable label for report headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Paper => "1 year @ 15 min (paper)",
+            Self::Fast => "1 year @ 60 min (fast)",
+            Self::Smoke => "30 days @ 60 min (smoke)",
+        }
+    }
+}
+
+/// Extracts the solar dataset of a paper roof at the given resolution.
+#[must_use]
+pub fn extract_scenario(scenario: &RoofScenario, resolution: Resolution) -> SolarDataset {
+    SolarExtractor::new(Site::turin(), resolution.clock())
+        .seed(WEATHER_SEED)
+        .extract(&scenario.dsm)
+}
+
+/// Runs the traditional-vs-proposed comparison of one roof for one module
+/// count, producing a Table I row.
+///
+/// # Panics
+///
+/// Panics when a placement fails on a paper roof (cannot happen for the
+/// published `N`; the roofs have ample space).
+#[must_use]
+pub fn compare_row(
+    scenario: &RoofScenario,
+    dataset: &SolarDataset,
+    n_modules: usize,
+) -> ComparisonRow {
+    let topology = Topology::new(8, n_modules / 8).expect("paper topologies are 8-series");
+    let config = FloorplanConfig::paper(topology).expect("paper module aligns to 20 cm grid");
+    let map = SuitabilityMap::compute(dataset, &config);
+    let traditional = traditional_placement_with_map(dataset, &config, &map)
+        .expect("compact block fits the paper roofs");
+    let proposed =
+        greedy_placement_with_map(dataset, &config, &map).expect("greedy fits the paper roofs");
+    let evaluator = EnergyEvaluator::new(&config);
+    let trad_report = evaluator
+        .evaluate(dataset, &traditional)
+        .expect("sized by construction");
+    let prop_report = evaluator
+        .evaluate(dataset, &proposed)
+        .expect("sized by construction");
+
+    ComparisonRow {
+        label: scenario.name(),
+        dims: (dataset.dims().width(), dataset.dims().height()),
+        ng: dataset.valid().count(),
+        n_modules,
+        traditional: trad_report.energy,
+        proposed: prop_report.energy,
+        published_gain_percent: scenario.roof.published_gain_percent(n_modules),
+    }
+}
+
+/// Directory where harness binaries write figures (`target/figures`).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_gis::{PaperRoof, RoofScenario};
+
+    #[test]
+    fn smoke_row_has_positive_energies() {
+        let scenario = RoofScenario::build(PaperRoof::Roof1);
+        let dataset = extract_scenario(&scenario, Resolution::Smoke);
+        let row = compare_row(&scenario, &dataset, 16);
+        assert!(row.traditional.as_wh() > 0.0);
+        assert!(row.proposed.as_wh() > 0.0);
+        assert_eq!(row.n_modules, 16);
+        assert_eq!(row.ng, scenario.dsm.valid().count());
+    }
+
+    #[test]
+    fn resolution_clocks() {
+        assert_eq!(Resolution::Paper.clock().num_steps(), 35_040);
+        assert_eq!(Resolution::Fast.clock().num_steps(), 8_760);
+        assert_eq!(Resolution::Smoke.clock().num_steps(), 720);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for floorplanning operations.
+
+use pv_geom::GeomError;
+use pv_model::ModelError;
+
+/// Errors produced by placement algorithms and evaluation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FloorplanError {
+    /// The roof has fewer usable anchor positions than requested modules.
+    NotEnoughSpace {
+        /// Modules successfully placed before running out of candidates.
+        placed: usize,
+        /// Modules requested (`N = m·n`).
+        requested: usize,
+    },
+    /// A placement passed for evaluation has the wrong module count for
+    /// the configured topology.
+    PlacementSizeMismatch {
+        /// Modules the topology expects.
+        expected: usize,
+        /// Modules in the placement.
+        actual: usize,
+    },
+    /// The module's physical size is incompatible with the dataset's grid
+    /// pitch.
+    Geometry(GeomError),
+    /// Electrical model error (topology construction or aggregation).
+    Model(ModelError),
+    /// The exact solver's search space exceeds the configured bound.
+    SearchSpaceTooLarge {
+        /// Candidate anchors found.
+        candidates: usize,
+        /// Modules requested.
+        modules: usize,
+        /// The configured node budget that would be exceeded.
+        budget: u64,
+    },
+}
+
+impl core::fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotEnoughSpace { placed, requested } => write!(
+                f,
+                "could not place all modules: {placed} of {requested} fit the suitable area"
+            ),
+            Self::PlacementSizeMismatch { expected, actual } => write!(
+                f,
+                "placement has {actual} modules but the topology expects {expected}"
+            ),
+            Self::Geometry(e) => write!(f, "geometry error: {e}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::SearchSpaceTooLarge {
+                candidates,
+                modules,
+                budget,
+            } => write!(
+                f,
+                "exact search over {candidates} candidates x {modules} modules exceeds budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Geometry(e) => Some(e),
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for FloorplanError {
+    fn from(e: GeomError) -> Self {
+        Self::Geometry(e)
+    }
+}
+
+impl From<ModelError> for FloorplanError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = FloorplanError::NotEnoughSpace {
+            placed: 10,
+            requested: 16,
+        };
+        assert!(e.to_string().contains("10 of 16"));
+        assert!(e.source().is_none());
+
+        let wrapped: FloorplanError = GeomError::DegeneratePolygon.into();
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,194 @@
+//! Rendering of suitability maps and placements (Figs. 6-7 material).
+//!
+//! Produces ASCII heat maps for terminals and binary PGM images for
+//! figure regeneration; placements overlay string-coloured module
+//! rectangles on either.
+
+use crate::greedy::FloorplanResult;
+use pv_geom::{CellCoord, Grid};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Characters from dark to bright for ASCII heat maps.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a scalar grid as an ASCII heat map, downsampling to at most
+/// `max_width` characters per line. `NaN` cells render as `'x'`.
+///
+/// ```
+/// use pv_floorplan::render::ascii_heatmap;
+/// use pv_geom::{Grid, GridDims};
+/// let g = Grid::from_fn(GridDims::new(40, 10), |c| c.x as f64);
+/// let art = ascii_heatmap(&g, 40);
+/// assert_eq!(art.lines().count(), 10);
+/// assert!(art.starts_with(' ')); // dark on the left
+/// assert!(art.lines().next().unwrap().ends_with('@')); // bright right
+/// ```
+#[must_use]
+pub fn ascii_heatmap(grid: &Grid<f64>, max_width: usize) -> String {
+    let dims = grid.dims();
+    let step = dims.width().div_ceil(max_width.max(1));
+    let (lo, hi) = grid.finite_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(1e-12);
+
+    let mut out = String::new();
+    for y in (0..dims.height()).step_by(step) {
+        for x in (0..dims.width()).step_by(step) {
+            // Average the block, ignoring NaN; all-NaN renders 'x'.
+            let mut sum = 0.0;
+            let mut count = 0;
+            for yy in y..(y + step).min(dims.height()) {
+                for xx in x..(x + step).min(dims.width()) {
+                    let v = grid[CellCoord::new(xx, yy)];
+                    if !v.is_nan() {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+            }
+            if count == 0 {
+                out.push('x');
+            } else {
+                let norm = ((sum / f64::from(count)) - lo) / span;
+                let idx = ((norm * (RAMP.len() - 1) as f64).round() as usize)
+                    .min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a placement over the grid: modules show as digits (their string
+/// index, mod 10), free valid cells as `'.'`, invalid cells as `'x'`.
+///
+/// Downsamples like [`ascii_heatmap`]; a block containing any module cell
+/// shows the module's string digit.
+#[must_use]
+pub fn ascii_placement(plan: &FloorplanResult, valid: &pv_geom::CellMask, max_width: usize) -> String {
+    let dims = plan.placement.dims();
+    let step = dims.width().div_ceil(max_width.max(1));
+
+    // Cell -> string index map.
+    let mut owner: Grid<i32> = Grid::filled(dims, -1);
+    for k in 0..plan.placement.len() {
+        let s = plan.string_of[k] as i32;
+        for cell in plan.placement.cells_of(k) {
+            owner[cell] = s;
+        }
+    }
+
+    let mut out = String::new();
+    for y in (0..dims.height()).step_by(step) {
+        for x in (0..dims.width()).step_by(step) {
+            let mut ch = 'x';
+            let mut found_module: Option<i32> = None;
+            let mut any_valid = false;
+            for yy in y..(y + step).min(dims.height()) {
+                for xx in x..(x + step).min(dims.width()) {
+                    let c = CellCoord::new(xx, yy);
+                    if owner[c] >= 0 {
+                        found_module = Some(owner[c]);
+                    }
+                    any_valid |= valid.is_set(c);
+                }
+            }
+            if let Some(s) = found_module {
+                ch = char::from_digit((s % 10) as u32, 10).expect("digit");
+            } else if any_valid {
+                ch = '.';
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a scalar grid as an 8-bit binary PGM image (portable graymap),
+/// linearly mapping `[min, max]` to `[0, 255]`; `NaN` renders black.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_pgm(grid: &Grid<f64>, path: &Path) -> std::io::Result<()> {
+    let dims = grid.dims();
+    let (lo, hi) = grid.finite_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(1e-12);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(file, "P5\n{} {}\n255", dims.width(), dims.height())?;
+    let mut row = Vec::with_capacity(dims.width());
+    for y in 0..dims.height() {
+        row.clear();
+        for x in 0..dims.width() {
+            let v = grid[CellCoord::new(x, y)];
+            let byte = if v.is_nan() {
+                0u8
+            } else {
+                (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8
+            };
+            row.push(byte);
+        }
+        file.write_all(&row)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_geom::{CellMask, Footprint, GridDims, Placement};
+    use pv_units::Meters;
+
+    #[test]
+    fn heatmap_marks_nan_cells() {
+        let mut g = Grid::filled(GridDims::new(4, 2), 1.0);
+        g[CellCoord::new(2, 0)] = f64::NAN;
+        let art = ascii_heatmap(&g, 10);
+        assert!(art.contains('x'));
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn heatmap_downsamples() {
+        let g = Grid::filled(GridDims::new(100, 10), 0.5);
+        let art = ascii_heatmap(&g, 25);
+        assert!(art.lines().next().unwrap().len() <= 25);
+    }
+
+    #[test]
+    fn placement_overlay_shows_strings() {
+        let dims = GridDims::new(20, 8);
+        let mask = CellMask::full(dims);
+        let fp = Footprint::from_cells(4, 2, Meters::new(0.2));
+        let mut placement = Placement::new(dims, fp);
+        placement.try_place(CellCoord::new(0, 0), &mask).unwrap();
+        placement.try_place(CellCoord::new(8, 4), &mask).unwrap();
+        let plan = FloorplanResult {
+            placement,
+            string_of: vec![0, 1],
+            mean_anchor_score: 0.0,
+        };
+        let art = ascii_placement(&plan, &mask, 20);
+        assert!(art.contains('0'));
+        assert!(art.contains('1'));
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn pgm_round_trip_header() {
+        let g = Grid::from_fn(GridDims::new(8, 4), |c| c.x as f64);
+        let dir = std::env::temp_dir().join("pvfloorplan_test_pgm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pgm");
+        write_pgm(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = String::from_utf8_lossy(&bytes[..12]);
+        assert!(header.starts_with("P5"));
+        assert!(header.contains("8 4"));
+        // 8x4 payload bytes after the header.
+        assert_eq!(bytes.len(), bytes.len() - 32 + 32);
+        std::fs::remove_file(&path).ok();
+    }
+}

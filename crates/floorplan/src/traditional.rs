@@ -1,0 +1,259 @@
+//! The traditional "compact" placement baseline (paper Sec. V-B).
+//!
+//! The reference the paper compares against packs all `N` modules tightly
+//! into one rectangular block and puts the block on the most irradiated
+//! part of the roof. Note the paper's caveat: this baseline is *already*
+//! informed by the accurate spatio-temporal irradiance data ("we are
+//! comparing our solution to a particularly good reference") — an actual
+//! installer placing by rule of thumb would do worse. We therefore score
+//! candidate block positions with the same suitability map the greedy
+//! algorithm uses and pick the best feasible window.
+
+use crate::config::FloorplanConfig;
+use crate::error::FloorplanError;
+use crate::greedy::FloorplanResult;
+use crate::suitability::SuitabilityMap;
+use pv_geom::{CellCoord, Placement};
+use pv_gis::SolarDataset;
+
+/// Computes the best compact rectangular placement of `N = m·n` modules.
+///
+/// Every factorization `rows × cols = N` of the block is tried at every
+/// grid position; the fully-valid window with the highest mean suitability
+/// wins. Modules are enumerated row-major inside the block, so with
+/// `cols == m` each row is one series string (the layout of the paper's
+/// Fig. 7-(a-c)).
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::NotEnoughSpace`] when no compact block of any
+/// shape fits the suitable area.
+///
+/// ```
+/// use pv_floorplan::{traditional_placement, FloorplanConfig};
+/// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+/// use pv_model::Topology;
+/// use pv_units::{Meters, SimulationClock};
+/// let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0)).build();
+/// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 120))
+///     .extract(&roof);
+/// let config = FloorplanConfig::paper(Topology::new(2, 2)?)?;
+/// let plan = traditional_placement(&data, &config)?;
+/// assert_eq!(plan.placement.len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn traditional_placement(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+) -> Result<FloorplanResult, FloorplanError> {
+    let map = SuitabilityMap::compute(dataset, config);
+    traditional_placement_with_map(dataset, config, &map)
+}
+
+/// Same as [`traditional_placement`] with a precomputed suitability map.
+///
+/// # Errors
+///
+/// Returns [`FloorplanError::NotEnoughSpace`] when no compact block fits.
+pub fn traditional_placement_with_map(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    map: &SuitabilityMap,
+) -> Result<FloorplanResult, FloorplanError> {
+    let footprint = config.footprint();
+    let topology = config.topology();
+    let n_modules = topology.num_modules();
+    let dims = dataset.dims();
+    let valid = dataset.valid();
+    let (fw, fh) = (footprint.width_cells(), footprint.height_cells());
+
+    // Summed-area tables over suitability (invalid = 0) and validity.
+    let (gw, gh) = (dims.width(), dims.height());
+    let mut sat = vec![0.0f64; (gw + 1) * (gh + 1)];
+    let mut cnt = vec![0u32; (gw + 1) * (gh + 1)];
+    for y in 0..gh {
+        for x in 0..gw {
+            let c = CellCoord::new(x, y);
+            let s = map.score(c);
+            let (score, one) = if s.is_nan() { (0.0, 0) } else { (s, 1) };
+            let i = (y + 1) * (gw + 1) + (x + 1);
+            sat[i] = score + sat[i - 1] + sat[i - (gw + 1)] - sat[i - (gw + 1) - 1];
+            cnt[i] = one + cnt[i - 1] + cnt[i - (gw + 1)] - cnt[i - (gw + 1) - 1];
+        }
+    }
+    let window = |x0: usize, y0: usize, w: usize, h: usize| -> Option<f64> {
+        let (x1, y1) = (x0 + w, y0 + h);
+        let idx = |x: usize, y: usize| y * (gw + 1) + x;
+        let cells = (w * h) as u32;
+        // Sum the positive corners first to avoid u32 underflow.
+        let count =
+            (cnt[idx(x1, y1)] + cnt[idx(x0, y0)]) - cnt[idx(x0, y1)] - cnt[idx(x1, y0)];
+        if count != cells {
+            return None;
+        }
+        let sum = sat[idx(x1, y1)] - sat[idx(x0, y1)] - sat[idx(x1, y0)] + sat[idx(x0, y0)];
+        Some(sum / f64::from(cells))
+    };
+
+    // The conventional layout is the topology block: one row per series
+    // string, `m` modules per row (the same-coloured rows of the paper's
+    // Fig. 7-(a-c)). Only if that shape fits nowhere do we fall back to
+    // other factorizations of N.
+    let mut shapes: Vec<(usize, usize)> = vec![(topology.strings(), topology.series())];
+    for rows in 1..=n_modules {
+        if n_modules.is_multiple_of(rows) && (rows, n_modules / rows) != shapes[0] {
+            shapes.push((rows, n_modules / rows));
+        }
+    }
+
+    let mut best: Option<(usize, usize, CellCoord, f64)> = None;
+    for (rows, cols) in shapes {
+        let (bw, bh) = (cols * fw, rows * fh);
+        if bw > gw || bh > gh {
+            continue;
+        }
+        for y in 0..=(gh - bh) {
+            for x in 0..=(gw - bw) {
+                if let Some(score) = window(x, y, bw, bh) {
+                    if best.is_none_or(|(_, _, _, s)| score > s) {
+                        best = Some((rows, cols, CellCoord::new(x, y), score));
+                    }
+                }
+            }
+        }
+        if best.is_some() {
+            break; // canonical (or first feasible) shape found a home
+        }
+    }
+
+    let Some((rows, cols, origin, score)) = best else {
+        return Err(FloorplanError::NotEnoughSpace {
+            placed: 0,
+            requested: n_modules,
+        });
+    };
+
+    // Pack modules row-major; series-first string assignment.
+    let mut placement = Placement::new(dims, footprint);
+    let mut string_of = Vec::with_capacity(n_modules);
+    for r in 0..rows {
+        for c in 0..cols {
+            let anchor = CellCoord::new(origin.x + c * fw, origin.y + r * fh);
+            placement
+                .try_place(anchor, valid)
+                .expect("window was verified fully valid");
+            let k = placement.len() - 1;
+            string_of.push(if config.series_first() {
+                topology.string_of(k)
+            } else {
+                k % topology.strings()
+            });
+        }
+    }
+
+    Ok(FloorplanResult {
+        placement,
+        string_of,
+        mean_anchor_score: score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_model::Topology;
+    use pv_units::{Meters, SimulationClock};
+
+    fn extract(roof: &pv_gis::Dsm) -> SolarDataset {
+        SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 120))
+            .seed(5)
+            .extract(roof)
+    }
+
+    fn config(m: usize, n: usize) -> FloorplanConfig {
+        FloorplanConfig::paper(Topology::new(m, n).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn block_is_contiguous_and_complete() {
+        let roof = RoofBuilder::new(Meters::new(12.0), Meters::new(5.0)).build();
+        let data = extract(&roof);
+        let plan = traditional_placement(&data, &config(2, 2)).unwrap();
+        assert_eq!(plan.placement.len(), 4);
+        // Bounding box area equals covered area: perfectly packed.
+        let xs: Vec<usize> = plan.placement.modules().iter().map(|m| m.anchor.x).collect();
+        let ys: Vec<usize> = plan.placement.modules().iter().map(|m| m.anchor.y).collect();
+        let fp = config(2, 2).footprint();
+        let bb_w = xs.iter().max().unwrap() - xs.iter().min().unwrap() + fp.width_cells();
+        let bb_h = ys.iter().max().unwrap() - ys.iter().min().unwrap() + fp.height_cells();
+        assert_eq!(bb_w * bb_h, 4 * fp.num_cells());
+    }
+
+    #[test]
+    fn block_avoids_obstacles() {
+        // Obstacle in the roof centre: the block must sit fully clear.
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0))
+            .obstacle(Obstacle::dormer(
+                Meters::new(3.2),
+                Meters::new(1.2),
+                Meters::new(1.6),
+                Meters::new(1.6),
+                Meters::new(1.2),
+            ))
+            .build();
+        let data = extract(&roof);
+        let plan = traditional_placement(&data, &config(2, 1)).unwrap();
+        for k in 0..plan.placement.len() {
+            for cell in plan.placement.cells_of(k) {
+                assert!(data.valid().is_set(cell), "module {k} covers invalid {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_brighter_half() {
+        // Wall shading the left edge: block lands right of centre.
+        let roof = RoofBuilder::new(Meters::new(12.0), Meters::new(4.0))
+            .obstacle(Obstacle::off_roof_block(
+                Meters::new(0.0),
+                Meters::new(0.0),
+                Meters::new(0.4),
+                Meters::new(4.0),
+                Meters::new(4.0),
+            ))
+            .build();
+        let data = SolarExtractor::new(
+            Site::turin(),
+            SimulationClock::days_at_minutes(4, 60),
+        )
+        .seed(5)
+        .extract(&roof);
+        let plan = traditional_placement(&data, &config(2, 1)).unwrap();
+        let mean_x: f64 = (0..plan.placement.len())
+            .map(|k| plan.placement.center(k).x)
+            .sum::<f64>()
+            / plan.placement.len() as f64;
+        assert!(mean_x > 4.0, "mean x {mean_x}");
+    }
+
+    #[test]
+    fn no_space_for_block_is_reported() {
+        // Roof fits 2 modules side by side but a central obstacle splits it.
+        let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(0.8))
+            .obstacle(Obstacle::antenna(Meters::new(1.9), Meters::new(0.4), Meters::new(1.0)))
+            .build();
+        let data = extract(&roof);
+        let err = traditional_placement(&data, &config(2, 1)).unwrap_err();
+        assert!(matches!(err, FloorplanError::NotEnoughSpace { .. }));
+    }
+
+    #[test]
+    fn string_rows_when_cols_equal_series_length() {
+        let roof = RoofBuilder::new(Meters::new(16.0), Meters::new(4.0)).build();
+        let data = extract(&roof);
+        // 8 modules as 2 strings of 4: 2 rows x 4 cols factorization exists.
+        let plan = traditional_placement(&data, &config(4, 2)).unwrap();
+        assert_eq!(plan.string_of, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the floorplanning core's invariants.
+
+use proptest::prelude::*;
+use pv_floorplan::{
+    greedy_placement, greedy_placement_with_map, traditional_placement_with_map, EnergyEvaluator,
+    FloorplanConfig, SuitabilityMap,
+};
+use pv_gis::{Obstacle, RoofBuilder, SolarDataset, SolarExtractor, Site};
+use pv_model::Topology;
+use pv_units::{Degrees, Meters, SimulationClock};
+
+fn dataset(width_m: f64, depth_m: f64, seed: u64, chimney_x: f64) -> SolarDataset {
+    let roof = RoofBuilder::new(Meters::new(width_m), Meters::new(depth_m))
+        .undulation(Degrees::new(4.0), Meters::new(3.0), seed)
+        .obstacle(Obstacle::chimney(
+            Meters::new(chimney_x),
+            Meters::new(depth_m / 2.0),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(1.6),
+        ))
+        .build();
+    SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(3, 240))
+        .seed(seed)
+        .extract(&roof)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The greedy placement always produces exactly N non-overlapping,
+    /// fully-valid modules with a series-first string assignment.
+    #[test]
+    fn greedy_structural_invariants(seed in 0u64..500, m in 1usize..4, n in 1usize..3,
+                                    cx in 2.0..10.0f64) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(m, n).unwrap()).unwrap();
+        let plan = greedy_placement(&data, &config).unwrap();
+        prop_assert_eq!(plan.placement.len(), m * n);
+        prop_assert_eq!(
+            plan.placement.covered_cells().count(),
+            m * n * config.footprint().num_cells()
+        );
+        for k in 0..plan.placement.len() {
+            prop_assert_eq!(plan.string_of[k], k / m);
+            for cell in plan.placement.cells_of(k) {
+                prop_assert!(data.valid().is_set(cell), "module {k} on invalid cell");
+            }
+        }
+    }
+
+    /// The best single anchor bounds any block's mean suitability, and a
+    /// pure suitability-greedy (no tie window) claims that anchor first.
+    #[test]
+    fn best_anchor_bounds_block_mean(seed in 0u64..300, cx in 2.0..10.0f64) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(2, 2).unwrap())
+            .unwrap()
+            .with_tie_tolerance(0.0)
+            .with_distance_threshold(None);
+        let map = SuitabilityMap::compute(&data, &config);
+        let best_anchor = map
+            .anchor_scores(config.footprint())
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let block = traditional_placement_with_map(&data, &config, &map).unwrap();
+        prop_assert!(best_anchor >= block.mean_anchor_score - 1e-9);
+        let greedy = greedy_placement_with_map(&data, &config, &map).unwrap();
+        // First pick of the pure greedy is the global best anchor, so its
+        // mean stays within the landscape's span.
+        prop_assert!(greedy.mean_anchor_score <= best_anchor + 1e-9);
+    }
+
+    /// Energy reports always satisfy net <= gross <= sum-of-modules, with
+    /// non-negative wiring loss and a mismatch fraction in [0, 1].
+    #[test]
+    fn energy_report_inequalities(seed in 0u64..300, m in 1usize..4, cx in 2.0..10.0f64) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(m, 2).unwrap()).unwrap();
+        let plan = greedy_placement(&data, &config).unwrap();
+        let r = EnergyEvaluator::new(&config).evaluate(&data, &plan).unwrap();
+        prop_assert!(r.wiring_loss.as_wh() >= 0.0);
+        prop_assert!(r.energy.as_wh() <= r.gross_energy.as_wh() + 1e-9);
+        prop_assert!(r.gross_energy.as_wh() <= r.sum_of_module_energy.as_wh() + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r.mismatch_fraction()));
+        prop_assert!(r.extra_wire.as_meters() >= 0.0);
+        prop_assert!((r.wire_cost - r.extra_wire.as_meters()).abs() < 1e-9);
+    }
+
+    /// The suitability map scores valid cells finitely and positively
+    /// under daylight, and leaves exactly the invalid cells NaN.
+    #[test]
+    fn suitability_nan_pattern(seed in 0u64..300, cx in 2.0..10.0f64) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(2, 1).unwrap()).unwrap();
+        let map = SuitabilityMap::compute(&data, &config);
+        for cell in data.dims().iter() {
+            let s = map.score(cell);
+            if data.valid().is_set(cell) {
+                prop_assert!(s.is_finite() && s >= 0.0, "valid cell {cell:?} score {s}");
+            } else {
+                prop_assert!(s.is_nan(), "invalid cell {cell:?} scored {s}");
+            }
+        }
+    }
+
+    /// A permissive tie window can only trade suitability for wiring:
+    /// mean anchor score never improves as the window widens.
+    #[test]
+    fn tie_window_monotonicity(seed in 0u64..200) {
+        let data = dataset(16.0, 5.0, seed, 8.0);
+        let base = FloorplanConfig::paper(Topology::new(4, 1).unwrap()).unwrap();
+        let tight = greedy_placement(&data, &base.clone().with_tie_tolerance(0.0)).unwrap();
+        let wide = greedy_placement(&data, &base.with_tie_tolerance(0.2)).unwrap();
+        prop_assert!(wide.mean_anchor_score <= tight.mean_anchor_score + 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for geometric operations.
+
+use crate::coord::CellCoord;
+
+/// Errors produced by geometric construction and placement operations.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A module size is not an integer multiple of the grid pitch
+    /// (the paper requires `w = k1·s`, `h = k2·s`).
+    NotGridAligned {
+        /// The offending dimension in metres.
+        dimension_m: f64,
+        /// The grid pitch in metres.
+        pitch_m: f64,
+    },
+    /// A footprint anchored at `anchor` would extend past the grid boundary.
+    OutOfBounds {
+        /// Requested anchor cell.
+        anchor: CellCoord,
+    },
+    /// A footprint anchored at `anchor` covers at least one invalid cell.
+    CoversInvalidCell {
+        /// Requested anchor cell.
+        anchor: CellCoord,
+        /// First invalid covered cell found.
+        cell: CellCoord,
+    },
+    /// A footprint anchored at `anchor` overlaps an already-placed module.
+    Overlap {
+        /// Requested anchor cell.
+        anchor: CellCoord,
+        /// Index of the placed module it collides with.
+        existing: usize,
+    },
+    /// A polygon has fewer than three vertices.
+    DegeneratePolygon,
+}
+
+impl core::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotGridAligned { dimension_m, pitch_m } => write!(
+                f,
+                "module dimension {dimension_m} m is not an integer multiple of grid pitch {pitch_m} m"
+            ),
+            Self::OutOfBounds { anchor } => {
+                write!(f, "footprint at {anchor} extends past the grid boundary")
+            }
+            Self::CoversInvalidCell { anchor, cell } => {
+                write!(f, "footprint at {anchor} covers invalid cell {cell}")
+            }
+            Self::Overlap { anchor, existing } => {
+                write!(f, "footprint at {anchor} overlaps placed module #{existing}")
+            }
+            Self::DegeneratePolygon => write!(f, "polygon needs at least three vertices"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = GeomError::OutOfBounds {
+            anchor: CellCoord::new(5, 9),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("(5, 9)"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

@@ -1,0 +1,55 @@
+//! Grid/raster geometry substrate for GIS-based PV floorplanning.
+//!
+//! The paper aligns the usable roof surface to a *virtual grid* of square
+//! cells of side `s` (20 cm in the experiments) and reasons about module
+//! positions purely in grid coordinates. This crate provides that substrate:
+//!
+//! - [`Grid`] — a dense 2-D raster of arbitrary cell payloads (elevations,
+//!   irradiance percentiles, suitability scores, …);
+//! - [`CellCoord`] / [`GridDims`] — strongly-typed cell addressing;
+//! - [`CellMask`] — a bit-packed set of *valid* cells (the paper's `Ng`);
+//! - [`Polygon`] — simple polygons in metric roof coordinates, rasterizable
+//!   into masks;
+//! - [`Footprint`] / [`Orientation`] — the `k1 × k2`-cell rectangle a module
+//!   occupies;
+//! - [`Placement`] — a set of non-overlapping placed modules with geometric
+//!   queries (coverage, centres, pairwise distances).
+//!
+//! # Example
+//!
+//! ```
+//! use pv_geom::{CellCoord, CellMask, Footprint, GridDims, Placement};
+//! use pv_units::Meters;
+//!
+//! let dims = GridDims::new(40, 20);
+//! let mask = CellMask::full(dims);
+//! // A 160x80 cm module on a 20 cm grid covers 8x4 cells.
+//! let fp = Footprint::from_module_size(
+//!     Meters::new(1.6), Meters::new(0.8), Meters::new(0.2))?;
+//! let mut placement = Placement::new(dims, fp);
+//! placement.try_place(CellCoord::new(0, 0), &mask)?;
+//! placement.try_place(CellCoord::new(10, 4), &mask)?;
+//! assert_eq!(placement.len(), 2);
+//! # Ok::<(), pv_geom::GeomError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod distance;
+mod error;
+mod footprint;
+mod grid;
+mod mask;
+mod placement;
+mod polygon;
+
+pub use coord::{CellCoord, GridDims};
+pub use distance::{chebyshev_cells, euclidean, manhattan, Point};
+pub use error::GeomError;
+pub use footprint::{Footprint, Orientation};
+pub use grid::Grid;
+pub use mask::CellMask;
+pub use placement::{PlacedModule, Placement};
+pub use polygon::Polygon;

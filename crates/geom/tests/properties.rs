@@ -1,0 +1,115 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use pv_geom::{
+    euclidean, manhattan, CellCoord, CellMask, Footprint, Grid, GridDims, Placement, Point,
+    Polygon,
+};
+use pv_units::Meters;
+
+proptest! {
+    /// Linear index <-> coordinate is a bijection for arbitrary dims.
+    #[test]
+    fn linear_index_bijection(w in 1usize..200, h in 1usize..50, i in 0usize..10_000) {
+        let dims = GridDims::new(w, h);
+        let i = i % dims.num_cells();
+        let coord = dims.coord_of(i);
+        prop_assert_eq!(dims.linear_index(coord), i);
+    }
+
+    /// Mask count always equals the number of set cells observed via iter_set.
+    #[test]
+    fn mask_count_consistent(w in 1usize..120, h in 1usize..40, seed in 0u64..1000) {
+        let dims = GridDims::new(w, h);
+        let mask = CellMask::from_fn(dims, |c| {
+            // Cheap deterministic pseudo-random predicate.
+            let v = (c.x as u64).wrapping_mul(6364136223846793005)
+                ^ (c.y as u64).wrapping_mul(1442695040888963407)
+                ^ seed;
+            v % 3 == 0
+        });
+        prop_assert_eq!(mask.iter_set().count(), mask.count());
+        for c in mask.iter_set() {
+            prop_assert!(mask.is_set(c));
+        }
+    }
+
+    /// Intersection is commutative and bounded by both operands.
+    #[test]
+    fn mask_and_properties(seed in 0u64..500) {
+        let dims = GridDims::new(40, 25);
+        let pred = |c: CellCoord, s: u64| {
+            (c.x as u64 * 31 + c.y as u64 * 17 + s) % 4 != 0
+        };
+        let a = CellMask::from_fn(dims, |c| pred(c, seed));
+        let b = CellMask::from_fn(dims, |c| pred(c, seed.wrapping_add(7)));
+        let ab = a.and(&b);
+        let ba = b.and(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.count() <= a.count().min(b.count()));
+        prop_assert_eq!(a.and_not(&b).count() + ab.count(), a.count());
+    }
+
+    /// Manhattan distance dominates Euclidean; both are symmetric and zero
+    /// on the diagonal.
+    #[test]
+    fn distance_metric_laws(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                            bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        prop_assert!(manhattan(a, b).as_meters() + 1e-12 >= euclidean(a, b).as_meters());
+        prop_assert!((manhattan(a, b).as_meters() - manhattan(b, a).as_meters()).abs() < 1e-12);
+        prop_assert!((euclidean(a, b).as_meters() - euclidean(b, a).as_meters()).abs() < 1e-12);
+        prop_assert!(euclidean(a, a).as_meters() == 0.0);
+    }
+
+    /// Placements never overlap and the covered count is always
+    /// len * footprint cells.
+    #[test]
+    fn placement_invariants(anchors in prop::collection::vec((0usize..60, 0usize..20), 1..20)) {
+        let dims = GridDims::new(70, 26);
+        let mask = CellMask::full(dims);
+        let fp = Footprint::from_cells(8, 4, Meters::new(0.2));
+        let mut p = Placement::new(dims, fp);
+        for (x, y) in anchors {
+            let _ = p.try_place(CellCoord::new(x, y), &mask);
+        }
+        prop_assert_eq!(p.covered_cells().count(), p.len() * fp.num_cells());
+        // No two modules share a cell: pairwise disjoint anchors rectangles.
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                let a = p.modules()[i].anchor;
+                let b = p.modules()[j].anchor;
+                let disjoint_x = a.x + fp.width_cells() <= b.x || b.x + fp.width_cells() <= a.x;
+                let disjoint_y = a.y + fp.height_cells() <= b.y || b.y + fp.height_cells() <= a.y;
+                prop_assert!(disjoint_x || disjoint_y);
+            }
+        }
+    }
+
+    /// Rasterized polygon area converges to the analytic area.
+    #[test]
+    fn raster_area_approximates_polygon_area(w in 2.0..20.0f64, h in 2.0..10.0f64) {
+        let poly = Polygon::rect(Meters::new(w), Meters::new(h));
+        let pitch = 0.2;
+        let dims = GridDims::new((w / pitch).ceil() as usize + 2, (h / pitch).ceil() as usize + 2);
+        let mask = poly.rasterize(dims, Meters::new(pitch));
+        let raster_area = mask.count() as f64 * pitch * pitch;
+        let true_area = w * h;
+        // Boundary error is at most one cell ring around the perimeter.
+        let tolerance = 2.0 * (w + h) * pitch + 4.0 * pitch * pitch;
+        prop_assert!((raster_area - true_area).abs() <= tolerance,
+            "raster {raster_area} vs true {true_area}");
+    }
+
+    /// Grid map preserves shape and composes with indexing.
+    #[test]
+    fn grid_map_pointwise(w in 1usize..40, h in 1usize..40) {
+        let dims = GridDims::new(w, h);
+        let g = Grid::from_fn(dims, |c| (c.x * 3 + c.y) as f64);
+        let m = g.map(|v| v + 1.0);
+        for c in dims.iter() {
+            prop_assert_eq!(m[c], g[c] + 1.0);
+        }
+    }
+}

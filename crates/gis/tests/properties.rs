@@ -1,0 +1,111 @@
+//! Property-based tests for the GIS substrate's physical invariants.
+
+use proptest::prelude::*;
+use pv_gis::{
+    decomposition::decompose_ghi, solar_position, transposition::transpose, ClearSky, LocalSun,
+    Obstacle, RoofBuilder, SolarExtractor, Site,
+};
+use pv_units::{Degrees, Irradiance, Meters, SimulationClock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sun's elevation is bounded by the co-latitude +/- declination
+    /// envelope, and its direction vector is always unit length.
+    #[test]
+    fn solar_position_is_physical(lat in -60.0..60.0f64, day in 0u32..365, hour in 0.0..24.0f64) {
+        let pos = solar_position(Degrees::new(lat), day, hour);
+        let max_elev = 90.0 - (lat.abs() - 23.45).max(0.0).abs();
+        prop_assert!(pos.elevation.value() <= max_elev + 0.6,
+            "elevation {} exceeds envelope {max_elev}", pos.elevation);
+        let d = pos.direction();
+        let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+        let az = pos.azimuth.value();
+        prop_assert!((0.0..360.0).contains(&az));
+    }
+
+    /// Clear-sky components are non-negative and GHI never exceeds the
+    /// extraterrestrial horizontal irradiance.
+    #[test]
+    fn clear_sky_bounded_by_extraterrestrial(day in 0u32..365, tl in 2.0..7.0f64, e in 0.5..90.0f64) {
+        let sky = ClearSky::new(day, tl);
+        let elev = Degrees::new(e);
+        let ghi = sky.global_horizontal(elev).as_w_per_m2();
+        let ext = sky.extraterrestrial_horizontal(elev).as_w_per_m2();
+        prop_assert!(ghi >= 0.0);
+        prop_assert!(ghi <= ext + 1e-9, "GHI {ghi} above extraterrestrial {ext}");
+        prop_assert!(sky.beam_normal(elev).as_w_per_m2() <= 1600.0);
+    }
+
+    /// Erbs decomposition always closes the horizontal energy balance and
+    /// never produces negative components.
+    #[test]
+    fn decomposition_closure(ghi in 0.0..1100.0f64, kt in 0.0..1.0f64, e in 1.0..89.0f64) {
+        let elev = Degrees::new(e);
+        let split = decompose_ghi(
+            Irradiance::from_w_per_m2(ghi),
+            kt,
+            elev,
+            Irradiance::from_w_per_m2(1000.0),
+        );
+        prop_assert!(split.beam_normal.as_w_per_m2() >= 0.0);
+        prop_assert!(split.diffuse_horizontal.as_w_per_m2() >= 0.0);
+        let closure = split.beam_normal.as_w_per_m2() * elev.sin()
+            + split.diffuse_horizontal.as_w_per_m2();
+        prop_assert!((closure - ghi).abs() < 1e-6, "closure {closure} vs {ghi}");
+    }
+
+    /// POA irradiance at any cell is non-negative and bounded by the
+    /// all-components-unobstructed value.
+    #[test]
+    fn poa_cell_bounds(dni in 0.0..1000.0f64, dhi in 0.0..400.0f64,
+                       svf in 0.0..1.0f64, shadowed: bool,
+                       day in 0u32..365, hour in 6.0..18.0f64) {
+        let sun = solar_position(Degrees::new(45.0), day, hour);
+        let tilt = Degrees::new(26.0);
+        let local = LocalSun::from_sky(&sun, tilt, Degrees::new(195.0));
+        let ghi = dni * sun.elevation.sin().max(0.0) + dhi;
+        let poa = transpose(
+            &local,
+            tilt,
+            Irradiance::from_w_per_m2(dni),
+            Irradiance::from_w_per_m2(dhi),
+            Irradiance::from_w_per_m2(ghi),
+            0.2,
+        );
+        let at_cell = poa.at_cell(svf, shadowed).as_w_per_m2();
+        prop_assert!(at_cell >= 0.0);
+        prop_assert!(at_cell <= poa.unobstructed().as_w_per_m2() + 1e-9);
+    }
+
+    /// Adding an obstacle never increases any cell's insolation.
+    #[test]
+    fn obstacles_only_remove_energy(x in 1.0..6.0f64, y in 0.5..2.5f64, h in 0.5..3.0f64) {
+        let clock = SimulationClock::days_at_minutes(2, 240);
+        let clean = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0)).build();
+        let blocked = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(x), Meters::new(y),
+                Meters::new(0.8), Meters::new(0.8), Meters::new(h)))
+            .build();
+        let a = SolarExtractor::new(Site::turin(), clock).seed(5).extract(&clean);
+        let b = SolarExtractor::new(Site::turin(), clock).seed(5).extract(&blocked);
+        for cell in [pv_geom::CellCoord::new(1, 1), pv_geom::CellCoord::new(20, 10),
+                     pv_geom::CellCoord::new(39, 19)] {
+            prop_assert!(b.insolation(cell) <= a.insolation(cell) + 1e-9,
+                "cell {cell:?} gained energy from an obstacle");
+        }
+    }
+
+    /// The weather generator's clearness indices stay in the physical band
+    /// for arbitrary seeds.
+    #[test]
+    fn weather_stays_physical(seed in 0u64..10_000) {
+        let clock = SimulationClock::days_at_minutes(14, 120);
+        for s in pv_gis::WeatherGenerator::new(seed).generate(clock) {
+            prop_assert!((0.0..=0.85).contains(&s.clearness));
+            prop_assert!((-30.0..55.0).contains(&s.ambient.as_celsius()));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Perturb-and-observe maximum-power-point tracking.
+//!
+//! The paper assumes "each module extracts the maximum power" thanks to an
+//! MPPT (Sec. II-B). The floorplanner therefore evaluates modules at their
+//! analytic MPP; this module provides an actual tracker so that assumption
+//! can be validated against the physical I-V model: P&O converges to within
+//! a perturbation step of the true MPP on the unimodal single-module curve.
+
+use crate::iv::SingleDiodeModule;
+use crate::module::OperatingPoint;
+use pv_units::{Celsius, Irradiance, Volts};
+
+/// A perturb-and-observe tracker over a module's voltage command.
+///
+/// ```
+/// use pv_model::{mppt::PerturbObserve, SingleDiodeModule};
+/// use pv_units::{Celsius, Irradiance, Volts};
+/// let module = SingleDiodeModule::pv_mf165eb3();
+/// let g = Irradiance::from_w_per_m2(800.0);
+/// let t = Celsius::new(20.0);
+/// let mut tracker = PerturbObserve::new(Volts::new(10.0), Volts::new(0.2));
+/// for _ in 0..400 { tracker.step(&module, g, t); }
+/// let true_mpp = module.mpp(g, t);
+/// let tracked = tracker.operating_point(&module, g, t);
+/// let gap = (true_mpp.power().as_watts() - tracked.power().as_watts()).abs();
+/// assert!(gap < 1.0, "gap {gap} W");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PerturbObserve {
+    voltage: Volts,
+    step: Volts,
+    last_power: f64,
+    direction: f64,
+}
+
+impl PerturbObserve {
+    /// Creates a tracker starting at `initial` volts with a fixed
+    /// perturbation `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    #[must_use]
+    pub fn new(initial: Volts, step: Volts) -> Self {
+        assert!(step.value() > 0.0, "perturbation step must be positive");
+        Self {
+            voltage: initial,
+            step,
+            last_power: 0.0,
+            direction: 1.0,
+        }
+    }
+
+    /// Current voltage command.
+    #[inline]
+    #[must_use]
+    pub const fn voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    /// One P&O iteration against the module at the given conditions.
+    /// Returns the power observed *before* the new perturbation.
+    pub fn step(&mut self, module: &SingleDiodeModule, g: Irradiance, t: Celsius) -> f64 {
+        let i = module.current_at(self.voltage, g, t);
+        let p = self.voltage.value() * i.value();
+        if p <= 0.0 && self.voltage.value() > 0.0 {
+            // Beyond Voc (or dark): no gradient signal, walk back down.
+            self.direction = -1.0;
+        } else if p < self.last_power {
+            self.direction = -self.direction;
+        }
+        self.last_power = p;
+        let v = (self.voltage.value() + self.direction * self.step.value()).max(0.0);
+        self.voltage = Volts::new(v);
+        p
+    }
+
+    /// The module operating point at the tracker's present command.
+    #[must_use]
+    pub fn operating_point(
+        &self,
+        module: &SingleDiodeModule,
+        g: Irradiance,
+        t: Celsius,
+    ) -> OperatingPoint {
+        OperatingPoint {
+            voltage: self.voltage,
+            current: module.current_at(self.voltage, g, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_from_low_start() {
+        let m = SingleDiodeModule::pv_mf165eb3();
+        let g = Irradiance::from_w_per_m2(700.0);
+        let t = Celsius::new(15.0);
+        let mut tr = PerturbObserve::new(Volts::new(2.0), Volts::new(0.25));
+        for _ in 0..500 {
+            tr.step(&m, g, t);
+        }
+        let true_p = m.mpp(g, t).power().as_watts();
+        let got = tr.operating_point(&m, g, t).power().as_watts();
+        assert!((true_p - got).abs() / true_p < 0.02, "true {true_p} got {got}");
+    }
+
+    #[test]
+    fn converges_from_high_start() {
+        let m = SingleDiodeModule::pv_mf165eb3();
+        let g = Irradiance::from_w_per_m2(400.0);
+        let t = Celsius::new(30.0);
+        let mut tr = PerturbObserve::new(Volts::new(28.0), Volts::new(0.25));
+        for _ in 0..500 {
+            tr.step(&m, g, t);
+        }
+        let true_p = m.mpp(g, t).power().as_watts();
+        let got = tr.operating_point(&m, g, t).power().as_watts();
+        assert!((true_p - got).abs() / true_p < 0.02);
+    }
+
+    #[test]
+    fn retracks_after_irradiance_step() {
+        let m = SingleDiodeModule::pv_mf165eb3();
+        let t = Celsius::new(20.0);
+        let g1 = Irradiance::from_w_per_m2(900.0);
+        let g2 = Irradiance::from_w_per_m2(300.0);
+        let mut tr = PerturbObserve::new(Volts::new(12.0), Volts::new(0.25));
+        for _ in 0..400 {
+            tr.step(&m, g1, t);
+        }
+        for _ in 0..400 {
+            tr.step(&m, g2, t);
+        }
+        let true_p = m.mpp(g2, t).power().as_watts();
+        let got = tr.operating_point(&m, g2, t).power().as_watts();
+        assert!((true_p - got).abs() / true_p < 0.03, "true {true_p} got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let _ = PerturbObserve::new(Volts::new(10.0), Volts::ZERO);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the PV electrical models.
+
+use proptest::prelude::*;
+use pv_model::{
+    panel_output, EmpiricalModule, ModuleModel, OperatingPoint, SingleDiodeModule, Topology,
+};
+use pv_units::{Amperes, Celsius, Irradiance, Volts};
+
+proptest! {
+    /// Empirical module power is non-negative and monotone increasing in G
+    /// at fixed ambient (roof heating included).
+    #[test]
+    fn empirical_power_monotone_in_g(t in -10.0..40.0f64, g in 0.0..1000.0f64) {
+        let m = EmpiricalModule::pv_mf165eb3();
+        let t = Celsius::new(t);
+        let p_lo = m.power(Irradiance::from_w_per_m2(g), t);
+        let p_hi = m.power(Irradiance::from_w_per_m2(g + 50.0), t);
+        prop_assert!(p_lo.as_watts() >= 0.0);
+        prop_assert!(p_hi.as_watts() + 1e-9 >= p_lo.as_watts(),
+            "power dropped: {} -> {}", p_lo, p_hi);
+    }
+
+    /// Empirical power decreases in ambient temperature at fixed G.
+    #[test]
+    fn empirical_power_decreasing_in_t(t in -10.0..45.0f64, g in 50.0..1000.0f64) {
+        let m = EmpiricalModule::pv_mf165eb3();
+        let g = Irradiance::from_w_per_m2(g);
+        let p_cold = m.power(g, Celsius::new(t));
+        let p_warm = m.power(g, Celsius::new(t + 5.0));
+        prop_assert!(p_warm.as_watts() <= p_cold.as_watts() + 1e-9);
+    }
+
+    /// Panel power never exceeds the sum of module powers, and equals it
+    /// for identical modules.
+    #[test]
+    fn bottleneck_bound(
+        series in 1usize..10,
+        strings in 1usize..5,
+        v in 10.0..30.0f64,
+        i in 0.5..8.0f64,
+        weak_idx in 0usize..50,
+        weak_scale in 0.05..1.0f64,
+    ) {
+        let t = Topology::new(series, strings).unwrap();
+        let n = t.num_modules();
+        let mut modules = vec![OperatingPoint {
+            voltage: Volts::new(v),
+            current: Amperes::new(i),
+        }; n];
+        let out_uniform = panel_output(&modules, t).unwrap();
+        prop_assert!((out_uniform.power.as_watts()
+            - out_uniform.sum_of_module_powers.as_watts()).abs() < 1e-9);
+
+        // Weaken one module: panel power must not increase and must stay
+        // below the sum bound.
+        let k = weak_idx % n;
+        modules[k].current = Amperes::new(i * weak_scale);
+        let out = panel_output(&modules, t).unwrap();
+        prop_assert!(out.power.as_watts() <= out_uniform.power.as_watts() + 1e-9);
+        prop_assert!(out.power.as_watts() <= out.sum_of_module_powers.as_watts() + 1e-9);
+    }
+
+    /// Single-diode current is within [0, Isc] and decreasing in voltage.
+    #[test]
+    fn diode_current_bounds(g in 100.0..1000.0f64, t in -5.0..40.0f64, v in 0.0..35.0f64) {
+        let m = SingleDiodeModule::pv_mf165eb3();
+        let g = Irradiance::from_w_per_m2(g);
+        let t = Celsius::new(t);
+        let i = m.current_at(Volts::new(v), g, t);
+        let isc = m.current_at(Volts::ZERO, g, t);
+        prop_assert!(i.value() >= 0.0);
+        prop_assert!(i.value() <= isc.value() + 1e-6);
+        let i2 = m.current_at(Volts::new(v + 1.0), g, t);
+        prop_assert!(i2.value() <= i.value() + 1e-6);
+    }
+
+    /// The MPP power of the diode model is bounded by Voc * Isc.
+    #[test]
+    fn mpp_below_voc_isc_product(g in 100.0..1000.0f64, t in -5.0..40.0f64) {
+        let m = SingleDiodeModule::pv_mf165eb3();
+        let g = Irradiance::from_w_per_m2(g);
+        let t = Celsius::new(t);
+        let curve = m.iv_curve(g, t, 64);
+        let bound = curve.voc().value() * curve.isc().value();
+        prop_assert!(m.mpp(g, t).power().as_watts() <= bound + 1e-6);
+    }
+
+    /// Removing a module from a string (making it dark) zeroes the string's
+    /// contribution but never other strings'.
+    #[test]
+    fn dark_module_does_not_poison_other_strings(strings in 2usize..5) {
+        let t = Topology::new(4, strings).unwrap();
+        let healthy = OperatingPoint {
+            voltage: Volts::new(24.0),
+            current: Amperes::new(5.0),
+        };
+        let mut modules = vec![healthy; t.num_modules()];
+        modules[0] = OperatingPoint::default(); // dark module in string 0
+        let out = panel_output(&modules, t).unwrap();
+        // Strings 1..n still deliver 5 A each; string 0 delivers 0.
+        prop_assert!((out.current.value() - 5.0 * (strings as f64 - 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Angles in degrees and radians.
+
+quantity!(
+    /// Angle in degrees.
+    ///
+    /// Solar azimuth/elevation, roof tilt and orientation are expressed in
+    /// degrees at API boundaries; trigonometry converts to [`Radians`].
+    ///
+    /// ```
+    /// use pv_units::Degrees;
+    /// let tilt = Degrees::new(26.0);
+    /// assert!((tilt.to_radians().value() - 0.4537856).abs() < 1e-6);
+    /// ```
+    Degrees,
+    "deg"
+);
+
+quantity!(
+    /// Angle in radians.
+    Radians,
+    "rad"
+);
+
+impl Degrees {
+    /// Converts to radians.
+    #[inline]
+    #[must_use]
+    pub fn to_radians(self) -> Radians {
+        Radians::new(self.value().to_radians())
+    }
+
+    /// Sine of the angle.
+    #[inline]
+    #[must_use]
+    pub fn sin(self) -> f64 {
+        self.value().to_radians().sin()
+    }
+
+    /// Cosine of the angle.
+    #[inline]
+    #[must_use]
+    pub fn cos(self) -> f64 {
+        self.value().to_radians().cos()
+    }
+
+    /// Tangent of the angle.
+    #[inline]
+    #[must_use]
+    pub fn tan(self) -> f64 {
+        self.value().to_radians().tan()
+    }
+
+    /// Normalizes into `[0, 360)` degrees.
+    #[inline]
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        Self::new(self.value().rem_euclid(360.0))
+    }
+}
+
+impl Radians {
+    /// Converts to degrees.
+    #[inline]
+    #[must_use]
+    pub fn to_degrees(self) -> Degrees {
+        Degrees::new(self.value().to_degrees())
+    }
+
+    /// Sine of the angle.
+    #[inline]
+    #[must_use]
+    pub fn sin(self) -> f64 {
+        self.value().sin()
+    }
+
+    /// Cosine of the angle.
+    #[inline]
+    #[must_use]
+    pub fn cos(self) -> f64 {
+        self.value().cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_radian_round_trip() {
+        let d = Degrees::new(26.0);
+        let back = d.to_radians().to_degrees();
+        assert!((back.value() - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trig_matches_std() {
+        let d = Degrees::new(30.0);
+        assert!((d.sin() - 0.5).abs() < 1e-12);
+        assert!((d.cos() - 0.75f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_wraps_negative() {
+        assert_eq!(Degrees::new(-90.0).normalized().value(), 270.0);
+        assert_eq!(Degrees::new(720.0).normalized().value(), 0.0);
+    }
+}

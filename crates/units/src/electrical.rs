@@ -1,0 +1,137 @@
+//! Electrical quantities: voltage, current, resistance.
+
+use crate::energy::Watts;
+use crate::length::Meters;
+
+quantity!(
+    /// Electric potential in volts.
+    ///
+    /// ```
+    /// use pv_units::{Volts, Amperes};
+    /// let p = Volts::new(24.0) * Amperes::new(5.0);
+    /// assert_eq!(p.as_watts(), 120.0);
+    /// ```
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electric current in amperes.
+    ///
+    /// ```
+    /// use pv_units::{Amperes, Ohms};
+    /// let drop = Amperes::new(4.0) * Ohms::new(0.14);
+    /// assert!((drop.value() - 0.56).abs() < 1e-12);
+    /// ```
+    Amperes,
+    "A"
+);
+
+quantity!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "ohm"
+);
+
+quantity!(
+    /// Linear resistance of a cable in ohms per metre (e.g. ≈7 mΩ/m for the
+    /// AWG 10 wire of the paper's overhead assessment).
+    ///
+    /// ```
+    /// use pv_units::{OhmsPerMeter, Meters};
+    /// let r = OhmsPerMeter::new(0.007) * Meters::new(20.0);
+    /// assert!((r.value() - 0.14).abs() < 1e-12);
+    /// ```
+    OhmsPerMeter,
+    "ohm/m"
+);
+
+impl core::ops::Mul<Amperes> for Volts {
+    type Output = Watts;
+    /// Electrical power `P = V·I`.
+    #[inline]
+    fn mul(self, rhs: Amperes) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Volts> for Amperes {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<Ohms> for Amperes {
+    type Output = Volts;
+    /// Ohmic voltage drop `V = I·R`.
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Meters> for OhmsPerMeter {
+    type Output = Ohms;
+    /// Total resistance of a cable run.
+    #[inline]
+    fn mul(self, rhs: Meters) -> Ohms {
+        Ohms::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<OhmsPerMeter> for Meters {
+    type Output = Ohms;
+    #[inline]
+    fn mul(self, rhs: OhmsPerMeter) -> Ohms {
+        rhs * self
+    }
+}
+
+impl Amperes {
+    /// Joule dissipation `P = R·I²` through a resistance.
+    ///
+    /// ```
+    /// use pv_units::{Amperes, Ohms};
+    /// // Paper Sec. V-C: 4 A through ~7 mΩ/m ≈ 0.112 W per metre of cable.
+    /// let p = Amperes::new(4.0).dissipation(Ohms::new(0.007));
+    /// assert!((p.as_watts() - 0.112).abs() < 1e-12);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn dissipation(self, resistance: Ohms) -> Watts {
+        Watts::new(resistance.value() * self.value() * self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_product_commutes() {
+        let v = Volts::new(30.4);
+        let i = Amperes::new(7.36);
+        assert_eq!((v * i).value(), (i * v).value());
+    }
+
+    #[test]
+    fn ohmic_drop() {
+        let drop = Amperes::new(8.0) * Ohms::new(0.125);
+        assert!((drop.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cable_resistance() {
+        let r = OhmsPerMeter::new(0.007) * Meters::new(100.0);
+        assert!((r.value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ri2_dissipation_matches_paper_figure() {
+        // Paper: "RI² ≈ 0.11 W/m for each meter of extra cable" at 4 A.
+        let per_meter = Amperes::new(4.0).dissipation(OhmsPerMeter::new(0.007) * Meters::new(1.0));
+        assert!((per_meter.as_watts() - 0.112).abs() < 5e-3);
+    }
+}

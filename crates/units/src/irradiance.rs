@@ -1,0 +1,82 @@
+//! Solar irradiance.
+
+quantity!(
+    /// Solar irradiance in watts per square metre.
+    ///
+    /// The paper occasionally typesets irradiance as "W/cm²"; those figures
+    /// are physically W/m² (a 1000 W/cm² flux is ten thousand suns) and this
+    /// crate uses W/m² everywhere.
+    ///
+    /// ```
+    /// use pv_units::Irradiance;
+    /// let stc = Irradiance::STC;
+    /// assert_eq!(stc.as_w_per_m2(), 1000.0);
+    /// let half = stc * 0.5;
+    /// assert_eq!(half.as_w_per_m2(), 500.0);
+    /// ```
+    Irradiance,
+    "W/m^2"
+);
+
+impl Irradiance {
+    /// Standard Test Condition irradiance: 1000 W/m².
+    pub const STC: Self = Self::new(1000.0);
+
+    /// Builds an irradiance from a value in W/m².
+    #[inline]
+    #[must_use]
+    pub const fn from_w_per_m2(value: f64) -> Self {
+        Self::new(value)
+    }
+
+    /// Returns the irradiance in W/m².
+    #[inline]
+    #[must_use]
+    pub const fn as_w_per_m2(self) -> f64 {
+        self.value()
+    }
+
+    /// Fraction of STC irradiance (dimensionless), used by normalized
+    /// datasheet curves.
+    #[inline]
+    #[must_use]
+    pub fn stc_fraction(self) -> f64 {
+        self.value() / Self::STC.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stc_fraction_is_one_at_stc() {
+        assert_eq!(Irradiance::STC.stc_fraction(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Irradiance::from_w_per_m2(600.0);
+        let b = Irradiance::from_w_per_m2(400.0);
+        assert_eq!((a + b).as_w_per_m2(), 1000.0);
+        assert_eq!((a - b).as_w_per_m2(), 200.0);
+        assert_eq!((a * 2.0).as_w_per_m2(), 1200.0);
+        assert_eq!(a / b, 1.5);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        let g = Irradiance::from_w_per_m2(812.5);
+        assert_eq!(format!("{g:.1}"), "812.5 W/m^2");
+        assert_eq!(format!("{g:?}"), "Irradiance(812.5 W/m^2)");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Irradiance = [100.0, 200.0, 300.0]
+            .into_iter()
+            .map(Irradiance::from_w_per_m2)
+            .sum();
+        assert_eq!(total.as_w_per_m2(), 600.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Lengths and distances.
+
+quantity!(
+    /// Length in metres.
+    ///
+    /// Grid pitch, module dimensions, wiring runs and DSM elevations are all
+    /// expressed in metres.
+    ///
+    /// ```
+    /// use pv_units::Meters;
+    /// let module_w = Meters::new(1.6);
+    /// let cells = module_w / Meters::new(0.2);
+    /// assert_eq!(cells, 8.0);
+    /// ```
+    Meters,
+    "m"
+);
+
+impl Meters {
+    /// Returns the length in metres.
+    #[inline]
+    #[must_use]
+    pub const fn as_meters(self) -> f64 {
+        self.value()
+    }
+
+    /// Builds a length from centimetres.
+    #[inline]
+    #[must_use]
+    pub fn from_cm(cm: f64) -> Self {
+        Self::new(cm / 100.0)
+    }
+
+    /// Returns the length in centimetres.
+    #[inline]
+    #[must_use]
+    pub fn as_cm(self) -> f64 {
+        self.value() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm_round_trip() {
+        let s = Meters::from_cm(20.0);
+        assert_eq!(s.as_meters(), 0.2);
+        assert_eq!(s.as_cm(), 20.0);
+    }
+
+    #[test]
+    fn panel_is_integer_multiple_of_grid() {
+        // Paper Sec. III-A: 160x80 cm panel, s = 20 cm -> k1=8, k2=4.
+        let s = Meters::from_cm(20.0);
+        let w = Meters::from_cm(160.0);
+        let h = Meters::from_cm(80.0);
+        assert_eq!(w / s, 8.0);
+        assert_eq!(h / s, 4.0);
+    }
+}

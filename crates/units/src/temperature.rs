@@ -1,0 +1,67 @@
+//! Temperatures.
+
+quantity!(
+    /// Temperature in degrees Celsius.
+    ///
+    /// Used both for ambient air temperature and for the corrected module
+    /// temperature `Tact = T + k·G` of the paper's power model.
+    ///
+    /// ```
+    /// use pv_units::Celsius;
+    /// let ambient = Celsius::new(21.0);
+    /// let delta = Celsius::new(4.5);
+    /// assert_eq!((ambient + delta).as_celsius(), 25.5);
+    /// ```
+    Celsius,
+    "degC"
+);
+
+impl Celsius {
+    /// Standard Test Condition cell temperature: 25 °C.
+    pub const STC: Self = Self::new(25.0);
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    #[must_use]
+    pub const fn as_celsius(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the temperature in kelvin.
+    #[inline]
+    #[must_use]
+    pub fn as_kelvin(self) -> f64 {
+        self.value() + 273.15
+    }
+
+    /// Builds a temperature from a kelvin value.
+    #[inline]
+    #[must_use]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        Self::new(kelvin - 273.15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_round_trip() {
+        let t = Celsius::new(26.85);
+        let k = t.as_kelvin();
+        assert!((k - 300.0).abs() < 1e-12);
+        let back = Celsius::from_kelvin(k);
+        assert!((back.as_celsius() - 26.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stc_is_25() {
+        assert_eq!(Celsius::STC.as_celsius(), 25.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Celsius::new(-5.0) < Celsius::new(30.0));
+    }
+}

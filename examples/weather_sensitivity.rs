@@ -1,0 +1,57 @@
+//! Weather-sensitivity study: does the optimized placement's advantage
+//! survive across weather years?
+//!
+//! The placement is computed once from one weather year (as an installer
+//! would), then evaluated against several other synthetic years. The gain
+//! over the compact baseline should persist — the spatial structure it
+//! exploits (shadows, surface texture) is weather-independent.
+//!
+//! Run: `cargo run --example weather_sensitivity --release`
+
+use pvfloorplan::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let roof = RoofBuilder::new(Meters::new(16.0), Meters::new(6.0))
+        .tilt(Degrees::new(26.0))
+        .azimuth(Degrees::new(195.0))
+        .undulation(Degrees::new(5.0), Meters::new(4.0), 9)
+        .obstacle(Obstacle::hvac_unit(
+            Meters::new(7.0),
+            Meters::new(4.4),
+            Meters::new(2.2),
+        ))
+        .obstacle(Obstacle::chimney(
+            Meters::new(12.0),
+            Meters::new(1.0),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(1.8),
+        ))
+        .build();
+
+    let clock = SimulationClock::days_at_minutes(60, 60);
+    let config = FloorplanConfig::paper(Topology::new(4, 2)?)?;
+    let evaluator = EnergyEvaluator::new(&config);
+
+    // Plan on the design year...
+    let design_year = SolarExtractor::new(Site::turin(), clock).seed(1).extract(&roof);
+    let proposed = greedy_placement(&design_year, &config)?;
+    let compact = traditional_placement(&design_year, &config)?;
+
+    // ...evaluate against other years.
+    println!("placement planned on seed 1, evaluated across weather years:\n");
+    println!("{:>6} {:>14} {:>14} {:>8}", "seed", "compact kWh", "proposed kWh", "gain");
+    for seed in 1..=6 {
+        let year = SolarExtractor::new(Site::turin(), clock).seed(seed).extract(&roof);
+        let e_c = evaluator.evaluate(&year, &compact)?;
+        let e_p = evaluator.evaluate(&year, &proposed)?;
+        println!(
+            "{:>6} {:>14.1} {:>14.1} {:>+7.1}%",
+            seed,
+            e_c.energy.as_kwh(),
+            e_p.energy.as_kwh(),
+            e_p.energy.percent_gain_over(e_c.energy)
+        );
+    }
+    Ok(())
+}

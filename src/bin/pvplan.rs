@@ -1,0 +1,166 @@
+//! `pvplan` — command-line PV floorplanner.
+//!
+//! Describes a rectangular roof from flags, runs both the traditional and
+//! the proposed placement over a synthetic weather year, and prints the
+//! placements with their yearly energies.
+//!
+//! ```text
+//! pvplan --width 12 --depth 5 --tilt 26 --azimuth 195 \
+//!        --series 4 --strings 2 [--days 365] [--step 60] [--seed 42]
+//!        [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
+//! ```
+
+use pvfloorplan::floorplan::{
+    greedy_placement_with_map, render, traditional_placement_with_map,
+};
+use pvfloorplan::prelude::*;
+
+struct Args {
+    width: f64,
+    depth: f64,
+    tilt: f64,
+    azimuth: f64,
+    series: usize,
+    strings: usize,
+    days: u32,
+    step: u32,
+    seed: u64,
+    portrait: bool,
+    chimneys: Vec<(f64, f64, f64)>,
+    hvacs: Vec<(f64, f64, f64)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        width: 12.0,
+        depth: 5.0,
+        tilt: 26.0,
+        azimuth: 180.0,
+        series: 4,
+        strings: 2,
+        days: 365,
+        step: 60,
+        seed: 42,
+        portrait: false,
+        chimneys: Vec::new(),
+        hvacs: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--width" => args.width = value("--width")?.parse().map_err(|e| format!("{e}"))?,
+            "--depth" => args.depth = value("--depth")?.parse().map_err(|e| format!("{e}"))?,
+            "--tilt" => args.tilt = value("--tilt")?.parse().map_err(|e| format!("{e}"))?,
+            "--azimuth" => {
+                args.azimuth = value("--azimuth")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--series" => args.series = value("--series")?.parse().map_err(|e| format!("{e}"))?,
+            "--strings" => {
+                args.strings = value("--strings")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--days" => args.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
+            "--step" => args.step = value("--step")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--portrait" => args.portrait = true,
+            "--chimney" | "--hvac" => {
+                let spec = value(&flag)?;
+                let parts: Vec<f64> = spec
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|e| format!("{spec}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 3 {
+                    return Err(format!("{flag} expects X,Y,H (metres), got '{spec}'"));
+                }
+                let triple = (parts[0], parts[1], parts[2]);
+                if flag == "--chimney" {
+                    args.chimneys.push(triple);
+                } else {
+                    args.hvacs.push(triple);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pvplan --width M --depth M [--tilt DEG] [--azimuth DEG] \
+                     [--series N] [--strings N] [--days D] [--step MIN] [--seed S] \
+                     [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]..."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+
+    let mut builder = RoofBuilder::new(Meters::new(args.width), Meters::new(args.depth))
+        .tilt(Degrees::new(args.tilt))
+        .azimuth(Degrees::new(args.azimuth));
+    for (x, y, h) in &args.chimneys {
+        builder = builder.obstacle(Obstacle::chimney(
+            Meters::new(*x),
+            Meters::new(*y),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(*h),
+        ));
+    }
+    for (x, y, h) in &args.hvacs {
+        builder = builder.obstacle(Obstacle::hvac_unit(
+            Meters::new(*x),
+            Meters::new(*y),
+            Meters::new(*h),
+        ));
+    }
+    let roof = builder.build();
+
+    let clock = SimulationClock::days_at_minutes(args.days, args.step);
+    eprintln!(
+        "extracting solar data: {} x {} m roof, {} cells ({} valid), {} steps...",
+        args.width,
+        args.depth,
+        roof.dims().num_cells(),
+        roof.valid().count(),
+        clock.num_steps()
+    );
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(args.seed)
+        .extract(&roof);
+
+    let mut config = FloorplanConfig::paper(Topology::new(args.series, args.strings)?)?;
+    if args.portrait {
+        config = config.with_portrait_modules();
+    }
+    let map = SuitabilityMap::compute(&data, &config);
+    let evaluator = EnergyEvaluator::new(&config);
+
+    println!("suitability (bright = better, x = unusable):");
+    println!("{}", render::ascii_heatmap(map.scores(), 90));
+
+    match traditional_placement_with_map(&data, &config, &map) {
+        Ok(block) => {
+            let e = evaluator.evaluate(&data, &block)?;
+            println!("traditional compact block: {:.1} kWh", e.energy.as_kwh());
+            println!("{}", render::ascii_placement(&block, data.valid(), 90));
+        }
+        Err(e) => println!("traditional compact block: does not fit ({e})"),
+    }
+
+    let plan = greedy_placement_with_map(&data, &config, &map)?;
+    let e = evaluator.evaluate(&data, &plan)?;
+    println!(
+        "proposed irregular placement: {:.1} kWh (extra wire {:.1} m, \
+         wiring loss {:.2}%, mismatch {:.2}%)",
+        e.energy.as_kwh(),
+        e.extra_wire.as_meters(),
+        e.wiring_loss_fraction() * 100.0,
+        e.mismatch_fraction() * 100.0
+    );
+    println!("{}", render::ascii_placement(&plan, data.valid(), 90));
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full DSM → dataset → placement →
+//! energy pipeline through the public facade.
+
+use pvfloorplan::floorplan::{
+    greedy_placement_with_map, traditional_placement_with_map, FloorplanError,
+};
+use pvfloorplan::prelude::*;
+
+fn obstructed_roof() -> pvfloorplan::gis::Dsm {
+    RoofBuilder::new(Meters::new(14.0), Meters::new(6.0))
+        .tilt(Degrees::new(26.0))
+        .azimuth(Degrees::new(195.0))
+        .undulation(Degrees::new(5.0), Meters::new(4.0), 11)
+        .obstacle(Obstacle::hvac_unit(
+            Meters::new(6.0),
+            Meters::new(4.2),
+            Meters::new(2.2),
+        ))
+        .obstacle(Obstacle::chimney(
+            Meters::new(11.0),
+            Meters::new(1.0),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(1.8),
+        ))
+        .obstacle(Obstacle::off_roof_block(
+            Meters::new(0.0),
+            Meters::new(5.8),
+            Meters::new(14.0),
+            Meters::new(0.2),
+            Meters::new(3.0),
+        ))
+        .build()
+}
+
+fn dataset(days: u32) -> SolarDataset {
+    SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(days, 60))
+        .seed(99)
+        .extract(&obstructed_roof())
+}
+
+#[test]
+fn pipeline_produces_consistent_energies() {
+    let data = dataset(20);
+    let config = FloorplanConfig::paper(Topology::new(4, 2).unwrap()).unwrap();
+    let map = SuitabilityMap::compute(&data, &config);
+    let evaluator = EnergyEvaluator::new(&config);
+
+    let compact = traditional_placement_with_map(&data, &config, &map).unwrap();
+    let sparse = greedy_placement_with_map(&data, &config, &map).unwrap();
+    let e_compact = evaluator.evaluate(&data, &compact).unwrap();
+    let e_sparse = evaluator.evaluate(&data, &sparse).unwrap();
+
+    // Both plans produce energy; structural inequalities hold.
+    for report in [&e_compact, &e_sparse] {
+        assert!(report.energy.as_wh() > 0.0);
+        assert!(report.gross_energy.as_wh() >= report.energy.as_wh());
+        assert!(report.sum_of_module_energy.as_wh() >= report.gross_energy.as_wh() - 1e-9);
+    }
+    // Greedy's chosen cells are at least as suitable as the block's.
+    assert!(sparse.mean_anchor_score >= compact.mean_anchor_score - 1e-9);
+}
+
+#[test]
+fn energy_scales_with_simulated_duration() {
+    let config = FloorplanConfig::paper(Topology::new(2, 1).unwrap()).unwrap();
+    let short = dataset(5);
+    let long = dataset(20);
+    let plan_short = greedy_placement(&short, &config).unwrap();
+    let e_short = EnergyEvaluator::new(&config)
+        .evaluate(&short, &plan_short)
+        .unwrap();
+    // Re-evaluate the same placement on the longer dataset.
+    let e_long = EnergyEvaluator::new(&config)
+        .evaluate(&long, &plan_short)
+        .unwrap();
+    // 4x the days (same season) should give roughly 4x the energy.
+    let ratio = e_long.energy.as_wh() / e_short.energy.as_wh();
+    assert!((2.5..6.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn determinism_across_full_pipeline() {
+    let config = FloorplanConfig::paper(Topology::new(4, 2).unwrap()).unwrap();
+    let a = dataset(10);
+    let b = dataset(10);
+    let plan_a = greedy_placement(&a, &config).unwrap();
+    let plan_b = greedy_placement(&b, &config).unwrap();
+    assert_eq!(plan_a.placement.modules(), plan_b.placement.modules());
+    let e_a = EnergyEvaluator::new(&config).evaluate(&a, &plan_a).unwrap();
+    let e_b = EnergyEvaluator::new(&config).evaluate(&b, &plan_b).unwrap();
+    assert_eq!(e_a.energy, e_b.energy);
+}
+
+#[test]
+fn greedy_beats_or_ties_traditional_on_the_paper_roofs_smoke() {
+    // Smoke-scale check of the headline claim on a real paper roof.
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(30, 120))
+        .seed(2018)
+        .extract(&scenario.dsm);
+    let config = FloorplanConfig::paper(Topology::new(8, 2).unwrap()).unwrap();
+    let map = SuitabilityMap::compute(&data, &config);
+    let evaluator = EnergyEvaluator::new(&config);
+    let compact = traditional_placement_with_map(&data, &config, &map).unwrap();
+    let sparse = greedy_placement_with_map(&data, &config, &map).unwrap();
+    let e_c = evaluator.evaluate(&data, &compact).unwrap();
+    let e_s = evaluator.evaluate(&data, &sparse).unwrap();
+    assert!(
+        e_s.energy.as_wh() > e_c.energy.as_wh(),
+        "proposed {} vs traditional {}",
+        e_s.energy.as_wh(),
+        e_c.energy.as_wh()
+    );
+}
+
+#[test]
+fn impossible_requests_error_cleanly() {
+    let data = dataset(2);
+    // 64 modules cannot fit a 14 x 6 m roof with obstacles.
+    let config = FloorplanConfig::paper(Topology::new(8, 8).unwrap()).unwrap();
+    match greedy_placement(&data, &config) {
+        Err(FloorplanError::NotEnoughSpace { placed, requested }) => {
+            assert_eq!(requested, 64);
+            assert!(placed < 64);
+        }
+        other => panic!("expected NotEnoughSpace, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_scenarios_reconstruct_published_geometry() {
+    for scenario in paper_roofs() {
+        assert_eq!(scenario.dsm.dims(), scenario.roof.published_dims());
+        assert!(
+            scenario.ng_deviation() < 0.03,
+            "{} Ng {} vs {}",
+            scenario.name(),
+            scenario.dsm.valid().count(),
+            scenario.roof.published_ng()
+        );
+    }
+}
+
+#[test]
+fn portrait_orientation_places_and_evaluates() {
+    // Extension beyond the paper: same pipeline with modules rotated 90°.
+    let data = dataset(10);
+    let landscape = FloorplanConfig::paper(Topology::new(4, 2).unwrap()).unwrap();
+    let portrait = landscape.clone().with_portrait_modules();
+    let evaluator_l = EnergyEvaluator::new(&landscape);
+    let evaluator_p = EnergyEvaluator::new(&portrait);
+    let plan_l = greedy_placement(&data, &landscape).unwrap();
+    let plan_p = greedy_placement(&data, &portrait).unwrap();
+    assert_eq!(plan_p.placement.footprint().width_cells(), 4);
+    assert_eq!(plan_p.placement.footprint().height_cells(), 8);
+    let e_l = evaluator_l.evaluate(&data, &plan_l).unwrap();
+    let e_p = evaluator_p.evaluate(&data, &plan_p).unwrap();
+    // Both orientations produce comparable energy (same module, same roof).
+    let ratio = e_p.energy.as_wh() / e_l.energy.as_wh();
+    assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn wiring_overhead_is_marginal_as_claimed() {
+    // Sec. V-C: the proposed placement's wiring loss is a fraction of a
+    // percent of the produced energy.
+    let data = dataset(20);
+    let config = FloorplanConfig::paper(Topology::new(4, 2).unwrap()).unwrap();
+    let plan = greedy_placement(&data, &config).unwrap();
+    let report = EnergyEvaluator::new(&config).evaluate(&data, &plan).unwrap();
+    assert!(
+        report.wiring_loss_fraction() < 0.02,
+        "wiring loss fraction {}",
+        report.wiring_loss_fraction()
+    );
+}
