@@ -6,10 +6,8 @@
 //! and module counts. Run: `cargo bench -p pv-bench --bench placement_scaling`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pv_floorplan::{
-    greedy_placement_with_map, FloorplanConfig, SuitabilityMap,
-};
-use pv_gis::{RoofBuilder, SolarDataset, SolarExtractor, Site};
+use pv_floorplan::{greedy_placement_with_map, FloorplanConfig, SuitabilityMap};
+use pv_gis::{RoofBuilder, Site, SolarDataset, SolarExtractor};
 use pv_model::Topology;
 use pv_units::{Meters, SimulationClock};
 

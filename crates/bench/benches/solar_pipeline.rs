@@ -4,7 +4,7 @@
 //! Run: `cargo bench -p pv-bench --bench solar_pipeline`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pv_gis::{HorizonMap, Obstacle, RoofBuilder, SolarExtractor, Site};
+use pv_gis::{HorizonMap, Obstacle, RoofBuilder, Site, SolarExtractor};
 use pv_units::{Meters, SimulationClock};
 
 fn obstructed_roof(width_m: f64) -> pv_gis::Dsm {

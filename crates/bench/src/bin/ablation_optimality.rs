@@ -9,7 +9,7 @@
 use pv_floorplan::anneal::{anneal, AnnealConfig};
 use pv_floorplan::exact::optimal_placement;
 use pv_floorplan::{greedy_placement, EnergyEvaluator, FloorplanConfig};
-use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
 use pv_model::Topology;
 use pv_units::{Degrees, Meters, SimulationClock};
 
@@ -42,9 +42,11 @@ fn exact_study() {
                 Meters::new(2.5),
             ))
             .build();
-        let data = SolarExtractor::new(Site::turin(), clock).seed(41).extract(&roof);
-        let config = FloorplanConfig::paper(Topology::new(2, 1).expect("topology"))
-            .expect("config");
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(41)
+            .extract(&roof);
+        let config =
+            FloorplanConfig::paper(Topology::new(2, 1).expect("topology")).expect("config");
         let greedy = greedy_placement(&data, &config).expect("fits");
         let greedy_wh = EnergyEvaluator::new(&config)
             .evaluate(&data, &greedy)
@@ -84,9 +86,10 @@ fn anneal_study() {
         ))
         .build();
     let clock = SimulationClock::days_at_minutes(30, 60);
-    let data = SolarExtractor::new(Site::turin(), clock).seed(41).extract(&roof);
-    let config =
-        FloorplanConfig::paper(Topology::new(4, 2).expect("topology")).expect("config");
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(41)
+        .extract(&roof);
+    let config = FloorplanConfig::paper(Topology::new(4, 2).expect("topology")).expect("config");
     let greedy = greedy_placement(&data, &config).expect("fits");
     let greedy_wh = EnergyEvaluator::new(&config)
         .evaluate(&data, &greedy)

@@ -24,14 +24,13 @@ fn main() {
     );
     println!("{:<28} {:>12} {:>9}", "metric", "energy MWh", "vs p75+fT");
 
-    let reference = run(
-        &dataset,
-        FloorplanConfig::paper(topology).expect("config"),
-    );
+    let reference = run(&dataset, FloorplanConfig::paper(topology).expect("config"));
     for (label, config) in [
         (
             "p50 (median) + f(T)",
-            FloorplanConfig::paper(topology).expect("config").with_percentile(0.5),
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_percentile(0.5),
         ),
         (
             "p75 + f(T)  [paper]",
@@ -39,7 +38,9 @@ fn main() {
         ),
         (
             "p90 + f(T)",
-            FloorplanConfig::paper(topology).expect("config").with_percentile(0.9),
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_percentile(0.9),
         ),
         (
             "p75, no T correction",
@@ -49,7 +50,9 @@ fn main() {
         ),
         (
             "p25 (avg-like proxy)",
-            FloorplanConfig::paper(topology).expect("config").with_percentile(0.25),
+            FloorplanConfig::paper(topology)
+                .expect("config")
+                .with_percentile(0.25),
         ),
     ] {
         let energy = run(&dataset, config);

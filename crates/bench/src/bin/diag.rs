@@ -11,15 +11,34 @@ fn main() {
     let anchors = map.anchor_scores(config.footprint());
     let mut scores: Vec<f64> = anchors.iter().copied().filter(|s| s.is_finite()).collect();
     scores.sort_by(f64::total_cmp);
-    let q = |p: f64| scores[((scores.len()-1) as f64 * p) as usize];
-    println!("anchor scores: n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
-        scores.len(), q(0.0), q(0.1), q(0.5), q(0.9), q(1.0));
+    let q = |p: f64| scores[((scores.len() - 1) as f64 * p) as usize];
+    println!(
+        "anchor scores: n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
+        scores.len(),
+        q(0.0),
+        q(0.1),
+        q(0.5),
+        q(0.9),
+        q(1.0)
+    );
     // cell-level spread
-    let mut cs: Vec<f64> = map.scores().iter().copied().filter(|s| s.is_finite()).collect();
+    let mut cs: Vec<f64> = map
+        .scores()
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
     cs.sort_by(f64::total_cmp);
-    let cq = |p: f64| cs[((cs.len()-1) as f64 * p) as usize];
-    println!("cell scores:   n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
-        cs.len(), cq(0.0), cq(0.1), cq(0.5), cq(0.9), cq(1.0));
+    let cq = |p: f64| cs[((cs.len() - 1) as f64 * p) as usize];
+    println!(
+        "cell scores:   n={} min={:.1} p10={:.1} p50={:.1} p90={:.1} max={:.1}",
+        cs.len(),
+        cq(0.0),
+        cq(0.1),
+        cq(0.5),
+        cq(0.9),
+        cq(1.0)
+    );
 
     let trad = traditional_placement_with_map(&dataset, &config, &map).unwrap();
     let prop = greedy_placement_with_map(&dataset, &config, &map).unwrap();

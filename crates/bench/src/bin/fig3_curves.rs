@@ -20,7 +20,11 @@ fn main() {
     for &g in &[200.0, 600.0, 1000.0] {
         let curve = phys.iv_curve(Irradiance::from_w_per_m2(g), t25, 40);
         for p in curve.points() {
-            println!("G{g:.0},{:.2},{:.2}", p.voltage.value(), p.power().as_watts());
+            println!(
+                "G{g:.0},{:.2},{:.2}",
+                p.voltage.value(),
+                p.power().as_watts()
+            );
         }
     }
 
@@ -59,7 +63,10 @@ fn main() {
     let p_cold = emp.power(Irradiance::STC, Celsius::new(0.0)).as_watts();
     let p_hot = emp.power(Irradiance::STC, Celsius::new(60.0)).as_watts();
     println!("\n# claims:");
-    println!("# power ratio G=1000 vs G=200: {:.2}x (paper: ~5x)", p1000 / p200);
+    println!(
+        "# power ratio G=1000 vs G=200: {:.2}x (paper: ~5x)",
+        p1000 / p200
+    );
     println!(
         "# power swing over 0..60 degC: {:+.1}% / {:+.1}% (paper: within ~+/-20%)",
         (p_cold / p_ref - 1.0) * 100.0,

@@ -13,8 +13,8 @@ use pv_model::Topology;
 
 fn main() {
     let resolution = Resolution::from_args();
-    let config = FloorplanConfig::paper(Topology::new(8, 2).expect("valid topology"))
-        .expect("paper config");
+    let config =
+        FloorplanConfig::paper(Topology::new(8, 2).expect("valid topology")).expect("paper config");
     let dir = figures_dir();
     println!("Fig 6-(b) reproduction — {}\n", resolution.label());
 

@@ -15,19 +15,21 @@ use pv_model::Topology;
 
 fn main() {
     let resolution = Resolution::from_args();
-    let config = FloorplanConfig::paper(Topology::new(8, 4).expect("valid topology"))
-        .expect("paper config");
-    println!("Fig 7 reproduction (N = 32, 4 strings of 8) — {}\n", resolution.label());
+    let config =
+        FloorplanConfig::paper(Topology::new(8, 4).expect("valid topology")).expect("paper config");
+    println!(
+        "Fig 7 reproduction (N = 32, 4 strings of 8) — {}\n",
+        resolution.label()
+    );
 
     for scenario in paper_roofs() {
         let dataset = extract_scenario(&scenario, resolution);
         let map = SuitabilityMap::compute(&dataset, &config);
         let evaluator = EnergyEvaluator::new(&config);
 
-        let traditional = traditional_placement_with_map(&dataset, &config, &map)
-            .expect("compact block fits");
-        let proposed =
-            greedy_placement_with_map(&dataset, &config, &map).expect("greedy fits");
+        let traditional =
+            traditional_placement_with_map(&dataset, &config, &map).expect("compact block fits");
+        let proposed = greedy_placement_with_map(&dataset, &config, &map).expect("greedy fits");
         let e_trad = evaluator.evaluate(&dataset, &traditional).expect("sized");
         let e_prop = evaluator.evaluate(&dataset, &proposed).expect("sized");
 
@@ -36,7 +38,10 @@ fn main() {
             scenario.name(),
             e_trad.energy.as_mwh()
         );
-        println!("{}", render::ascii_placement(&traditional, dataset.valid(), 110));
+        println!(
+            "{}",
+            render::ascii_placement(&traditional, dataset.valid(), 110)
+        );
         println!(
             "=== {} — proposed {:.3} MWh ({:+.2}%), extra wire {:.1} m ===",
             scenario.name(),
@@ -44,6 +49,9 @@ fn main() {
             e_prop.energy.percent_gain_over(e_trad.energy),
             e_prop.extra_wire.as_meters()
         );
-        println!("{}", render::ascii_placement(&proposed, dataset.valid(), 110));
+        println!(
+            "{}",
+            render::ascii_placement(&proposed, dataset.valid(), 110)
+        );
     }
 }

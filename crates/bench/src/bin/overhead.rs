@@ -20,7 +20,11 @@ fn main() {
     // Static cable characterization (paper's conservative numbers).
     let spec = WiringSpec::awg10();
     let p_per_m = spec.power_loss(Meters::new(1.0), Amperes::new(4.0));
-    println!("cable: AWG10, {:.0} mohm/m, {} $/m", 7.0, spec.cost_per_meter());
+    println!(
+        "cable: AWG10, {:.0} mohm/m, {} $/m",
+        7.0,
+        spec.cost_per_meter()
+    );
     println!(
         "loss at 4 A: {:.3} W/m (paper ~0.11 W/m); {:.2} kWh/m/yr at 50% duty (paper ~0.5)",
         p_per_m.as_watts(),

@@ -9,7 +9,7 @@ use pv_floorplan::{
     greedy_placement_with_map, traditional_placement_with_map, ComparisonRow, EnergyEvaluator,
     FloorplanConfig, SuitabilityMap,
 };
-use pv_gis::{RoofScenario, SolarDataset, SolarExtractor, Site};
+use pv_gis::{RoofScenario, Site, SolarDataset, SolarExtractor};
 use pv_model::Topology;
 use pv_units::SimulationClock;
 use std::path::PathBuf;

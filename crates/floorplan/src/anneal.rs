@@ -126,8 +126,7 @@ pub fn anneal(
         if let Some(plan) = rebuild(&proposal) {
             let energy = evaluator.evaluate(dataset, &plan)?.energy;
             let delta = energy.as_wh() - current_energy.as_wh();
-            let accept = delta >= 0.0
-                || rng.gen::<f64>() < (delta / temperature.max(1e-12)).exp();
+            let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature.max(1e-12)).exp();
             if accept {
                 current_anchors = proposal;
                 current_energy = energy;
@@ -148,7 +147,7 @@ pub fn anneal(
 mod tests {
     use super::*;
     use crate::greedy::greedy_placement;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 
@@ -236,7 +235,10 @@ mod tests {
             string_of: vec![0],
             mean_anchor_score: f64::NAN,
         };
-        let bad_energy = EnergyEvaluator::new(&cfg).evaluate(&data, &bad).unwrap().energy;
+        let bad_energy = EnergyEvaluator::new(&cfg)
+            .evaluate(&data, &bad)
+            .unwrap()
+            .energy;
         let (_, energy) = anneal(
             &data,
             &cfg,

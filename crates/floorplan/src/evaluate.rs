@@ -180,7 +180,7 @@ mod tests {
     use super::*;
     use crate::greedy::greedy_placement;
     use crate::traditional::traditional_placement;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 
@@ -265,8 +265,12 @@ mod tests {
         // just east of the wall.
         use pv_geom::{CellCoord, Placement};
         let mut placement = Placement::new(data.dims(), cfg.footprint());
-        placement.try_place(CellCoord::new(0, 0), data.valid()).unwrap();
-        placement.try_place(CellCoord::new(25, 0), data.valid()).unwrap();
+        placement
+            .try_place(CellCoord::new(0, 0), data.valid())
+            .unwrap();
+        placement
+            .try_place(CellCoord::new(25, 0), data.valid())
+            .unwrap();
         let plan = FloorplanResult {
             placement,
             string_of: vec![0, 0],
@@ -287,7 +291,9 @@ mod tests {
         let cfg2 = config(2, 1);
         let plan = greedy_placement(&data, &cfg2).unwrap();
         let cfg4 = config(2, 2);
-        let err = EnergyEvaluator::new(&cfg4).evaluate(&data, &plan).unwrap_err();
+        let err = EnergyEvaluator::new(&cfg4)
+            .evaluate(&data, &plan)
+            .unwrap_err();
         assert!(matches!(
             err,
             FloorplanError::PlacementSizeMismatch {

@@ -169,7 +169,7 @@ fn binomial(n: u64, k: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::greedy::greedy_placement;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 

@@ -114,8 +114,11 @@ pub fn greedy_placement_with_map(
         .map(|(_, s)| *s)
         .fold(f64::MIN_POSITIVE, f64::max);
     let quantize = |s: f64| (s / max_score * 1e9).round();
-    candidates
-        .sort_by(|a, b| quantize(b.1).total_cmp(&quantize(a.1)).then_with(|| a.0.cmp(&b.0)));
+    candidates.sort_by(|a, b| {
+        quantize(b.1)
+            .total_cmp(&quantize(a.1))
+            .then_with(|| a.0.cmp(&b.0))
+    });
 
     let mut placement = Placement::new(dataset.dims(), footprint);
     let mut consumed = vec![false; candidates.len()];
@@ -125,7 +128,8 @@ pub fn greedy_placement_with_map(
     let pitch = footprint.pitch().value();
     let half_w = footprint.width_cells() as f64 / 2.0;
     let half_h = footprint.height_cells() as f64 / 2.0;
-    let center_of = |c: CellCoord| Point::new((c.x as f64 + half_w) * pitch, (c.y as f64 + half_h) * pitch);
+    let center_of =
+        |c: CellCoord| Point::new((c.x as f64 + half_w) * pitch, (c.y as f64 + half_h) * pitch);
 
     // Lines 4-10: allocate modules greedily.
     for module_idx in 0..n_modules {
@@ -285,7 +289,7 @@ fn select_candidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 
@@ -325,8 +329,7 @@ mod tests {
     fn interleaved_assignment_when_series_first_off() {
         let roof = RoofBuilder::new(Meters::new(12.0), Meters::new(5.0)).build();
         let data = extract(&roof, 2);
-        let plan =
-            greedy_placement(&data, &config(3, 2).with_series_first(false)).unwrap();
+        let plan = greedy_placement(&data, &config(3, 2).with_series_first(false)).unwrap();
         assert_eq!(plan.string_of, vec![0, 1, 0, 1, 0, 1]);
     }
 
@@ -393,15 +396,13 @@ mod tests {
         let roof = RoofBuilder::new(Meters::new(20.0), Meters::new(5.0)).build();
         let data = extract(&roof, 2);
         let tight = greedy_placement(&data, &config(4, 2)).unwrap();
-        let loose =
-            greedy_placement(&data, &config(4, 2).with_distance_threshold(None)).unwrap();
+        let loose = greedy_placement(&data, &config(4, 2).with_distance_threshold(None)).unwrap();
         let spread = |p: &FloorplanResult| -> f64 {
             let mut worst = 0.0f64;
             for i in 0..p.placement.len() {
                 for j in (i + 1)..p.placement.len() {
-                    worst = worst.max(
-                        euclidean(p.placement.center(i), p.placement.center(j)).as_meters(),
-                    );
+                    worst = worst
+                        .max(euclidean(p.placement.center(i), p.placement.center(j)).as_meters());
                 }
             }
             worst

@@ -50,8 +50,7 @@ pub fn ascii_heatmap(grid: &Grid<f64>, max_width: usize) -> String {
                 out.push('x');
             } else {
                 let norm = ((sum / f64::from(count)) - lo) / span;
-                let idx = ((norm * (RAMP.len() - 1) as f64).round() as usize)
-                    .min(RAMP.len() - 1);
+                let idx = ((norm * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
                 out.push(RAMP[idx] as char);
             }
         }
@@ -66,7 +65,11 @@ pub fn ascii_heatmap(grid: &Grid<f64>, max_width: usize) -> String {
 /// Downsamples like [`ascii_heatmap`]; a block containing any module cell
 /// shows the module's string digit.
 #[must_use]
-pub fn ascii_placement(plan: &FloorplanResult, valid: &pv_geom::CellMask, max_width: usize) -> String {
+pub fn ascii_placement(
+    plan: &FloorplanResult,
+    valid: &pv_geom::CellMask,
+    max_width: usize,
+) -> String {
     let dims = plan.placement.dims();
     let step = dims.width().div_ceil(max_width.max(1));
 

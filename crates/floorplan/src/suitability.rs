@@ -197,7 +197,7 @@ fn percentile_with_implicit_zeros(samples: &mut [f64], num_zeros: usize, percent
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 
@@ -228,7 +228,9 @@ mod tests {
             ))
             .build();
         let clock = SimulationClock::days_at_minutes(6, 60);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(2).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(2)
+            .extract(&roof);
         let map = SuitabilityMap::compute(&data, &config());
         // Cell in the chimney's winter shadow band (ridge side) vs far cell.
         let shaded = map.score(CellCoord::new(22, 4));
@@ -248,7 +250,9 @@ mod tests {
             ))
             .build();
         let clock = SimulationClock::days_at_minutes(2, 120);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(1).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(1)
+            .extract(&roof);
         let map = SuitabilityMap::compute(&data, &config());
         // A chimney-footprint cell is invalid -> NaN score.
         assert!(map.score(CellCoord::new(6, 4)).is_nan());
@@ -267,7 +271,9 @@ mod tests {
             ))
             .build();
         let clock = SimulationClock::days_at_minutes(2, 120);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(1).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(1)
+            .extract(&roof);
         let cfg = config();
         let map = SuitabilityMap::compute(&data, &cfg);
         let anchors = map.anchor_scores(cfg.footprint());
@@ -283,7 +289,9 @@ mod tests {
     fn anchor_scores_match_bruteforce_mean() {
         let roof = RoofBuilder::new(Meters::new(6.0), Meters::new(3.0)).build();
         let clock = SimulationClock::days_at_minutes(2, 120);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(4).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(4)
+            .extract(&roof);
         let cfg = config();
         let map = SuitabilityMap::compute(&data, &cfg);
         let anchors = map.anchor_scores(cfg.footprint());
@@ -303,10 +311,13 @@ mod tests {
     fn temperature_correction_tracks_dp_dt() {
         let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
         let clock = SimulationClock::days_at_minutes(4, 60);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(3).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(3)
+            .extract(&roof);
         let cfg = config();
         let with = SuitabilityMap::compute(&data, &cfg);
-        let without = SuitabilityMap::compute(&data, &cfg.clone().with_temperature_correction(false));
+        let without =
+            SuitabilityMap::compute(&data, &cfg.clone().with_temperature_correction(false));
         let c = CellCoord::new(5, 5);
         // The uncorrected score equals the raw percentile.
         assert_eq!(without.score(c), without.irradiance_percentile()[c]);
@@ -326,9 +337,7 @@ mod tests {
         // analytically: with a hot percentile temperature the factor < 1.
         let gamma = config().module().power_temperature_slope();
         let k = config().module().thermal_coefficient();
-        let f_of = |t75: f64, g75: f64| {
-            (1.12 - gamma * (t75 + k * g75)) / (1.12 - gamma * 25.0)
-        };
+        let f_of = |t75: f64, g75: f64| (1.12 - gamma * (t75 + k * g75)) / (1.12 - gamma * 25.0);
         assert!(f_of(28.0, 800.0) < 1.0); // hot July afternoon percentile
         assert!(f_of(5.0, 300.0) > 1.0); // cold January percentile
     }

@@ -86,8 +86,7 @@ pub fn traditional_placement_with_map(
         let idx = |x: usize, y: usize| y * (gw + 1) + x;
         let cells = (w * h) as u32;
         // Sum the positive corners first to avoid u32 underflow.
-        let count =
-            (cnt[idx(x1, y1)] + cnt[idx(x0, y0)]) - cnt[idx(x0, y1)] - cnt[idx(x1, y0)];
+        let count = (cnt[idx(x1, y1)] + cnt[idx(x0, y0)]) - cnt[idx(x0, y1)] - cnt[idx(x1, y0)];
         if count != cells {
             return None;
         }
@@ -161,7 +160,7 @@ pub fn traditional_placement_with_map(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+    use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
     use pv_model::Topology;
     use pv_units::{Meters, SimulationClock};
 
@@ -182,8 +181,18 @@ mod tests {
         let plan = traditional_placement(&data, &config(2, 2)).unwrap();
         assert_eq!(plan.placement.len(), 4);
         // Bounding box area equals covered area: perfectly packed.
-        let xs: Vec<usize> = plan.placement.modules().iter().map(|m| m.anchor.x).collect();
-        let ys: Vec<usize> = plan.placement.modules().iter().map(|m| m.anchor.y).collect();
+        let xs: Vec<usize> = plan
+            .placement
+            .modules()
+            .iter()
+            .map(|m| m.anchor.x)
+            .collect();
+        let ys: Vec<usize> = plan
+            .placement
+            .modules()
+            .iter()
+            .map(|m| m.anchor.y)
+            .collect();
         let fp = config(2, 2).footprint();
         let bb_w = xs.iter().max().unwrap() - xs.iter().min().unwrap() + fp.width_cells();
         let bb_h = ys.iter().max().unwrap() - ys.iter().min().unwrap() + fp.height_cells();
@@ -206,7 +215,10 @@ mod tests {
         let plan = traditional_placement(&data, &config(2, 1)).unwrap();
         for k in 0..plan.placement.len() {
             for cell in plan.placement.cells_of(k) {
-                assert!(data.valid().is_set(cell), "module {k} covers invalid {cell}");
+                assert!(
+                    data.valid().is_set(cell),
+                    "module {k} covers invalid {cell}"
+                );
             }
         }
     }
@@ -223,12 +235,9 @@ mod tests {
                 Meters::new(4.0),
             ))
             .build();
-        let data = SolarExtractor::new(
-            Site::turin(),
-            SimulationClock::days_at_minutes(4, 60),
-        )
-        .seed(5)
-        .extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(4, 60))
+            .seed(5)
+            .extract(&roof);
         let plan = traditional_placement(&data, &config(2, 1)).unwrap();
         let mean_x: f64 = (0..plan.placement.len())
             .map(|k| plan.placement.center(k).x)
@@ -241,7 +250,11 @@ mod tests {
     fn no_space_for_block_is_reported() {
         // Roof fits 2 modules side by side but a central obstacle splits it.
         let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(0.8))
-            .obstacle(Obstacle::antenna(Meters::new(1.9), Meters::new(0.4), Meters::new(1.0)))
+            .obstacle(Obstacle::antenna(
+                Meters::new(1.9),
+                Meters::new(0.4),
+                Meters::new(1.0),
+            ))
             .build();
         let data = extract(&roof);
         let err = traditional_placement(&data, &config(2, 1)).unwrap_err();

@@ -5,7 +5,7 @@ use pv_floorplan::{
     greedy_placement, greedy_placement_with_map, traditional_placement_with_map, EnergyEvaluator,
     FloorplanConfig, SuitabilityMap,
 };
-use pv_gis::{Obstacle, RoofBuilder, SolarDataset, SolarExtractor, Site};
+use pv_gis::{Obstacle, RoofBuilder, Site, SolarDataset, SolarExtractor};
 use pv_model::Topology;
 use pv_units::{Degrees, Meters, SimulationClock};
 

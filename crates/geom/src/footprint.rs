@@ -156,9 +156,8 @@ mod tests {
 
     #[test]
     fn paper_module_is_8x4_cells() {
-        let fp =
-            Footprint::from_module_size(Meters::new(1.6), Meters::new(0.8), Meters::new(0.2))
-                .unwrap();
+        let fp = Footprint::from_module_size(Meters::new(1.6), Meters::new(0.8), Meters::new(0.2))
+            .unwrap();
         assert_eq!(fp.width_cells(), 8);
         assert_eq!(fp.height_cells(), 4);
         assert_eq!(fp.num_cells(), 32);
@@ -186,12 +185,9 @@ mod tests {
     #[test]
     fn near_aligned_within_tolerance_accepted() {
         // 1.6004 m on a 20 cm grid: off by 0.4 mm, accepted as 8 cells.
-        let fp = Footprint::from_module_size(
-            Meters::new(1.6004),
-            Meters::new(0.8),
-            Meters::new(0.2),
-        )
-        .unwrap();
+        let fp =
+            Footprint::from_module_size(Meters::new(1.6004), Meters::new(0.8), Meters::new(0.2))
+                .unwrap();
         assert_eq!(fp.width_cells(), 8);
     }
 }

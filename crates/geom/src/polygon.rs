@@ -90,7 +90,12 @@ impl Polygon {
     /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)` in metres.
     #[must_use]
     pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
-        let mut bb = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in &self.vertices {
             bb.0 = bb.0.min(x);
             bb.1 = bb.1.min(y);
@@ -155,7 +160,10 @@ mod tests {
         let mask = tri.rasterize(GridDims::new(50, 50), Meters::new(0.2));
         // Raster area = count * 0.04 m^2 should approximate 50 m^2.
         let raster_area = mask.count() as f64 * 0.04;
-        assert!((raster_area - 50.0).abs() < 2.0, "raster area {raster_area}");
+        assert!(
+            (raster_area - 50.0).abs() < 2.0,
+            "raster area {raster_area}"
+        );
     }
 
     #[test]

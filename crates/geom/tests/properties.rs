@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use pv_geom::{
-    euclidean, manhattan, CellCoord, CellMask, Footprint, Grid, GridDims, Placement, Point,
-    Polygon,
+    euclidean, manhattan, CellCoord, CellMask, Footprint, Grid, GridDims, Placement, Point, Polygon,
 };
 use pv_units::Meters;
 
@@ -26,7 +25,7 @@ proptest! {
             let v = (c.x as u64).wrapping_mul(6364136223846793005)
                 ^ (c.y as u64).wrapping_mul(1442695040888963407)
                 ^ seed;
-            v % 3 == 0
+            v.is_multiple_of(3)
         });
         prop_assert_eq!(mask.iter_set().count(), mask.count());
         for c in mask.iter_set() {
@@ -39,7 +38,7 @@ proptest! {
     fn mask_and_properties(seed in 0u64..500) {
         let dims = GridDims::new(40, 25);
         let pred = |c: CellCoord, s: u64| {
-            (c.x as u64 * 31 + c.y as u64 * 17 + s) % 4 != 0
+            !(c.x as u64 * 31 + c.y as u64 * 17 + s).is_multiple_of(4)
         };
         let a = CellMask::from_fn(dims, |c| pred(c, seed));
         let b = CellMask::from_fn(dims, |c| pred(c, seed.wrapping_add(7)));

@@ -84,8 +84,7 @@ impl ClearSky {
     pub fn rayleigh_optical_depth(air_mass: f64) -> f64 {
         let m = air_mass.min(40.0);
         if m <= 20.0 {
-            1.0 / (6.6296 + 1.7513 * m - 0.1202 * m * m + 0.0065 * m.powi(3)
-                - 0.00013 * m.powi(4))
+            1.0 / (6.6296 + 1.7513 * m - 0.1202 * m * m + 0.0065 * m.powi(3) - 0.00013 * m.powi(4))
         } else {
             1.0 / (10.4 + 0.718 * m)
         }
@@ -114,7 +113,11 @@ impl ClearSky {
         let trd = -1.5843e-2 + 3.0543e-2 * tl + 3.797e-4 * tl * tl;
         let a0_raw = 2.6463e-1 - 6.1581e-2 * tl + 3.1408e-3 * tl * tl;
         // ESRA correction: keep A0·Trd from going below 2e-3.
-        let a0 = if a0_raw * trd < 2e-3 { 2e-3 / trd } else { a0_raw };
+        let a0 = if a0_raw * trd < 2e-3 {
+            2e-3 / trd
+        } else {
+            a0_raw
+        };
         let a1 = 2.0402 + 1.8945e-2 * tl - 1.1161e-2 * tl * tl;
         let a2 = -1.3025 + 3.9231e-2 * tl + 8.5079e-3 * tl * tl;
         let s = elevation.sin();
@@ -167,7 +170,9 @@ mod tests {
         let hazy = ClearSky::new(171, 6.0);
         let e = Degrees::new(45.0);
         assert!(clean.beam_normal(e).as_w_per_m2() > hazy.beam_normal(e).as_w_per_m2());
-        assert!(clean.diffuse_horizontal(e).as_w_per_m2() < hazy.diffuse_horizontal(e).as_w_per_m2());
+        assert!(
+            clean.diffuse_horizontal(e).as_w_per_m2() < hazy.diffuse_horizontal(e).as_w_per_m2()
+        );
     }
 
     #[test]
@@ -179,7 +184,10 @@ mod tests {
         let ghi = sky.global_horizontal(e).as_w_per_m2();
         assert!((700.0..1050.0).contains(&dni), "DNI {dni}");
         assert!((750.0..1100.0).contains(&ghi), "GHI {ghi}");
-        assert!(ghi < self_extraterrestrial(&sky, e), "GHI below extraterrestrial");
+        assert!(
+            ghi < self_extraterrestrial(&sky, e),
+            "GHI below extraterrestrial"
+        );
     }
 
     fn self_extraterrestrial(sky: &ClearSky, e: Degrees) -> f64 {

@@ -383,10 +383,7 @@ mod tests {
     fn irradiance_composition() {
         let d = tiny();
         // Shadowed cell (0,0): diffuse + ground only.
-        assert_eq!(
-            d.irradiance(CellCoord::new(0, 0), 0).as_w_per_m2(),
-            110.0
-        );
+        assert_eq!(d.irradiance(CellCoord::new(0, 0), 0).as_w_per_m2(), 110.0);
         // Cell (1,0): full beam but svf 0.5 halves diffuse.
         assert_eq!(
             d.irradiance(CellCoord::new(1, 0), 0).as_w_per_m2(),

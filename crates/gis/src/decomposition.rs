@@ -122,8 +122,8 @@ mod tests {
                 elev,
                 Irradiance::from_w_per_m2(1000.0),
             );
-            let closure =
-                split.beam_normal.as_w_per_m2() * elev.sin() + split.diffuse_horizontal.as_w_per_m2();
+            let closure = split.beam_normal.as_w_per_m2() * elev.sin()
+                + split.diffuse_horizontal.as_w_per_m2();
             assert!((closure - ghi).abs() < 1e-9, "closure {closure} vs {ghi}");
         }
     }

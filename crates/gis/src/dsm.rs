@@ -390,9 +390,9 @@ impl RoofBuilder {
         });
 
         let cell_normals = if self.undulation.is_some() || self.twist.value() != 0.0 {
-            let (amplitude, wavelength, seed) = self
-                .undulation
-                .unwrap_or((Degrees::ZERO, Meters::new(1.0), 0));
+            let (amplitude, wavelength, seed) =
+                self.undulation
+                    .unwrap_or((Degrees::ZERO, Meters::new(1.0), 0));
             let mut rng = StdRng::seed_from_u64(seed);
             let tilt_field = WaveField::new(&mut rng, wavelength.value(), 5);
             let azim_field = WaveField::new(&mut rng, wavelength.value(), 5);
@@ -412,8 +412,7 @@ impl RoofBuilder {
                             self.tilt.value() + trend + amplitude.value() * tilt_field.at(px, py),
                         );
                         let azim = Degrees::new(
-                            self.azimuth.value()
-                                + 0.3 * amplitude.value() * azim_field.at(px, py),
+                            self.azimuth.value() + 0.3 * amplitude.value() * azim_field.at(px, py),
                         );
                         let (sb, cb) = (tilt.sin(), tilt.cos());
                         let (sa, ca) = (azim.sin(), azim.cos());

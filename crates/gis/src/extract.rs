@@ -254,17 +254,16 @@ mod tests {
             .extract(&roof);
         // Midnight of day 0 (step 0 at 00:00).
         assert!(!data.conditions(0).sun_up);
-        assert_eq!(
-            data.irradiance(CellCoord::new(0, 0), 0).as_w_per_m2(),
-            0.0
-        );
+        assert_eq!(data.irradiance(CellCoord::new(0, 0), 0).as_w_per_m2(), 0.0);
     }
 
     #[test]
     fn noon_is_brighter_than_morning_on_average() {
         let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
         let clock = SimulationClock::days_at_minutes(20, 60);
-        let data = SolarExtractor::new(Site::turin(), clock).seed(5).extract(&roof);
+        let data = SolarExtractor::new(Site::turin(), clock)
+            .seed(5)
+            .extract(&roof);
         let cell = CellCoord::new(5, 5);
         let mean_at = |h: u32| {
             let vals: Vec<f64> = (0..20)
@@ -298,8 +297,12 @@ mod tests {
             .build();
         let clock = SimulationClock::days_at_minutes(10, 60);
         let cell = CellCoord::new(5, 5);
-        let s = SolarExtractor::new(Site::turin(), clock).seed(4).extract(&south);
-        let n = SolarExtractor::new(Site::turin(), clock).seed(4).extract(&north);
+        let s = SolarExtractor::new(Site::turin(), clock)
+            .seed(4)
+            .extract(&south);
+        let n = SolarExtractor::new(Site::turin(), clock)
+            .seed(4)
+            .extract(&north);
         assert!(s.insolation(cell) > n.insolation(cell) * 1.2);
     }
 }

@@ -86,7 +86,10 @@ impl HorizonMap {
                 while t <= max_extent {
                     let px = cell.x as f64 + 0.5 + dx * t;
                     let py = cell.y as f64 + 0.5 + dy * t;
-                    if px < 0.0 || py < 0.0 || px >= dims.width() as f64 || py >= dims.height() as f64
+                    if px < 0.0
+                        || py < 0.0
+                        || px >= dims.width() as f64
+                        || py >= dims.height() as f64
                     {
                         break;
                     }

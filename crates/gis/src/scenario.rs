@@ -223,12 +223,7 @@ fn south_wall(mut builder: RoofBuilder, depth_m: f64, segments: &[(f64, f64, f64
 /// their shadows *up-slope* (towards the ridge), carving irradiance pockets
 /// into the otherwise-placeable mid-roof band — the pervasive mottling of
 /// the paper's Fig. 6-(b) — without consuming the band's valid cells.
-fn furniture_row(
-    mut builder: RoofBuilder,
-    xs: &[f64],
-    y: f64,
-    height_m: f64,
-) -> RoofBuilder {
+fn furniture_row(mut builder: RoofBuilder, xs: &[f64], y: f64, height_m: f64) -> RoofBuilder {
     for (k, &x) in xs.iter().enumerate() {
         // Deterministic height variation: +/-20% in a fixed pattern.
         let height = height_m * (0.8 + 0.1 * ((k * 7 + 3) % 5) as f64);
@@ -263,17 +258,27 @@ fn roof1() -> Dsm {
         .obstacle(Obstacle::dormer(m(34.0), m(0.2), m(2.0), m(1.4), m(1.2)))
         // Adjacent taller building section off the right (east) edge:
         // shades the right-hand band (Fig. 6-(b)).
-        .obstacle(Obstacle::off_roof_block(m(56.8), m(0.0), m(0.6), m(10.2), m(2.5)));
+        .obstacle(Obstacle::off_roof_block(
+            m(56.8),
+            m(0.0),
+            m(0.6),
+            m(10.2),
+            m(2.5),
+        ));
     // Eave furniture row: shadows reach 2-4 m into the mid band.
     let builder = furniture_row(builder, &[2.0, 8.0, 14.0, 36.0, 42.0, 48.0], 7.0, 2.4);
     let builder = band_conduits(builder, &[7.5, 15.5, 23.5, 31.5, 39.5, 47.5], 1.4, 6.2);
-    south_wall(builder, 10.2, &[
-        (0.0, 9.0, 5.0),
-        (9.0, 17.0, 6.5),
-        (17.0, 32.0, 3.1),
-        (32.0, 44.0, 5.5),
-        (44.0, 57.4, 7.5),
-    ])
+    south_wall(
+        builder,
+        10.2,
+        &[
+            (0.0, 9.0, 5.0),
+            (9.0, 17.0, 6.5),
+            (17.0, 32.0, 3.1),
+            (32.0, 44.0, 5.5),
+            (44.0, 57.4, 7.5),
+        ],
+    )
     .build()
 }
 
@@ -297,19 +302,35 @@ fn roof2() -> Dsm {
         .obstacle(Obstacle::chimney(m(9.0), m(0.6), m(0.8), m(0.8), m(1.8)))
         .obstacle(Obstacle::pipe_run(m(28.0), m(0.2), m(3.0), m(0.5), m(0.5)))
         // Tree row off the right edge and a parapet off the left edge.
-        .obstacle(Obstacle::off_roof_block(m(58.6), m(0.0), m(1.0), m(10.2), m(3.0)))
-        .obstacle(Obstacle::off_roof_block(m(0.0), m(0.0), m(0.8), m(10.2), m(1.5)));
+        .obstacle(Obstacle::off_roof_block(
+            m(58.6),
+            m(0.0),
+            m(1.0),
+            m(10.2),
+            m(3.0),
+        ))
+        .obstacle(Obstacle::off_roof_block(
+            m(0.0),
+            m(0.0),
+            m(0.8),
+            m(10.2),
+            m(1.5),
+        ));
     let builder = furniture_row(builder, &[3.5, 12.5, 21.5, 27.0, 49.0, 55.5], 7.0, 2.6);
     let builder = band_conduits(builder, &[8.0, 16.5, 25.0, 33.5, 42.0, 50.5], 1.4, 6.2);
-    south_wall(builder, 10.2, &[
-        (0.0, 7.0, 5.5),
-        (7.0, 15.0, 7.0),
-        (15.0, 24.0, 3.5),
-        (24.0, 30.0, 6.0),
-        (30.0, 44.0, 2.7),
-        (44.0, 50.0, 6.5),
-        (50.0, 59.6, 8.0),
-    ])
+    south_wall(
+        builder,
+        10.2,
+        &[
+            (0.0, 7.0, 5.5),
+            (7.0, 15.0, 7.0),
+            (15.0, 24.0, 3.5),
+            (24.0, 30.0, 6.0),
+            (30.0, 44.0, 2.7),
+            (44.0, 50.0, 6.5),
+            (50.0, 59.6, 8.0),
+        ],
+    )
     .build()
 }
 
@@ -332,17 +353,32 @@ fn roof3() -> Dsm {
         .obstacle(Obstacle::chimney(m(57.0), m(2.0), m(0.8), m(0.8), m(1.8)))
         .obstacle(Obstacle::pipe_run(m(24.0), m(0.2), m(3.0), m(0.5), m(0.5)))
         // Tree row off the right edge.
-        .obstacle(Obstacle::off_roof_block(m(58.4), m(0.0), m(1.2), m(10.4), m(3.0)));
+        .obstacle(Obstacle::off_roof_block(
+            m(58.4),
+            m(0.0),
+            m(1.2),
+            m(10.4),
+            m(3.0),
+        ));
     let builder = furniture_row(builder, &[2.0, 9.0, 15.5, 36.0, 43.0, 50.0, 55.5], 7.2, 2.8);
-    let builder = band_conduits(builder, &[7.0, 15.0, 23.0, 31.0, 39.0, 47.0, 54.0], 1.4, 6.4);
-    south_wall(builder, 10.4, &[
-        (0.0, 8.0, 7.5),
-        (8.0, 17.0, 3.5),
-        (17.0, 33.0, 3.2),
-        (31.5, 40.0, 6.5),
-        (40.0, 48.0, 7.0),
-        (48.0, 59.6, 8.5),
-    ])
+    let builder = band_conduits(
+        builder,
+        &[7.0, 15.0, 23.0, 31.0, 39.0, 47.0, 54.0],
+        1.4,
+        6.4,
+    );
+    south_wall(
+        builder,
+        10.4,
+        &[
+            (0.0, 8.0, 7.5),
+            (8.0, 17.0, 3.5),
+            (17.0, 33.0, 3.2),
+            (31.5, 40.0, 6.5),
+            (40.0, 48.0, 7.0),
+            (48.0, 59.6, 8.5),
+        ],
+    )
     .build()
 }
 

@@ -30,7 +30,11 @@ impl PoaComponents {
     /// component is unaffected (it arrives from below the horizon band).
     #[must_use]
     pub fn at_cell(&self, sky_view_factor: f64, shadowed: bool) -> Irradiance {
-        let beam = if shadowed { Irradiance::ZERO } else { self.beam };
+        let beam = if shadowed {
+            Irradiance::ZERO
+        } else {
+            self.beam
+        };
         beam + self.diffuse * sky_view_factor + self.ground
     }
 

@@ -124,7 +124,14 @@ impl WeatherGenerator {
         let num_steps = clock.num_steps() as usize;
         let mut samples = Vec::with_capacity(num_steps);
 
+        // Burn the Markov chain in so the first simulated day is drawn
+        // from (approximately) the stationary sky-state distribution
+        // rather than always following a clear day; otherwise short
+        // simulations are systematically sunnier than long ones.
         let mut state = SkyState::Clear;
+        for _ in 0..16 {
+            state = Self::next_state(state, &mut rng);
+        }
         let mut current_day = u32::MAX;
         // AR(1) residuals for clearness and temperature.
         let mut kt_resid = 0.0f64;
@@ -138,8 +145,7 @@ impl WeatherGenerator {
             }
 
             // Clearness: state mean + AR(1) noise, clipped to physical band.
-            kt_resid = 0.92 * kt_resid
-                + state.clearness_sigma() * (rng.gen::<f64>() * 2.0 - 1.0);
+            kt_resid = 0.92 * kt_resid + state.clearness_sigma() * (rng.gen::<f64>() * 2.0 - 1.0);
             let clearness = (state.mean_clearness() + kt_resid).clamp(0.03, 0.82);
 
             // Ambient temperature: seasonal cosine (min ~Jan 19) + diurnal

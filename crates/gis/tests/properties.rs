@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use pv_gis::{
     decomposition::decompose_ghi, solar_position, transposition::transpose, ClearSky, LocalSun,
-    Obstacle, RoofBuilder, SolarExtractor, Site,
+    Obstacle, RoofBuilder, Site, SolarExtractor,
 };
 use pv_units::{Degrees, Irradiance, Meters, SimulationClock};
 

@@ -140,7 +140,10 @@ impl PanelOutput {
 /// assert!(out.mismatch_loss() > 0.3);
 /// # Ok::<(), pv_model::ModelError>(())
 /// ```
-pub fn panel_output(modules: &[OperatingPoint], topology: Topology) -> Result<PanelOutput, ModelError> {
+pub fn panel_output(
+    modules: &[OperatingPoint],
+    topology: Topology,
+) -> Result<PanelOutput, ModelError> {
     if modules.len() != topology.num_modules() {
         return Err(ModelError::TopologySizeMismatch {
             expected: topology.num_modules(),
@@ -160,10 +163,7 @@ pub fn panel_output(modules: &[OperatingPoint], topology: Topology) -> Result<Pa
             .fold(f64::INFINITY, f64::min);
         min_string_voltage = min_string_voltage.min(v);
         total_current += i;
-        sum_power += string
-            .iter()
-            .map(|p| p.power().as_watts())
-            .sum::<f64>();
+        sum_power += string.iter().map(|p| p.power().as_watts()).sum::<f64>();
     }
     let voltage = Volts::new(min_string_voltage);
     let current = Amperes::new(total_current);
@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn dark_panel_is_zero_with_zero_mismatch() {
         let t = Topology::new(2, 2).unwrap();
-        let out = panel_output(&vec![op(0.0, 0.0); 4], t).unwrap();
+        let out = panel_output(&[op(0.0, 0.0); 4], t).unwrap();
         assert_eq!(out.power, Watts::ZERO);
         assert_eq!(out.mismatch_loss(), 0.0);
     }

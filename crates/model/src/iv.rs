@@ -257,11 +257,7 @@ impl SingleDiodeModule {
         if voc <= 0.0 {
             return OperatingPoint::default();
         }
-        let power = |v: f64| {
-            v * self
-                .current_at(Volts::new(v), irradiance, ambient)
-                .value()
-        };
+        let power = |v: f64| v * self.current_at(Volts::new(v), irradiance, ambient).value();
         let phi = (5f64.sqrt() - 1.0) / 2.0;
         let (mut lo, mut hi) = (0.0, voc);
         let (mut c, mut d) = (hi - phi * (hi - lo), lo + phi * (hi - lo));
@@ -312,8 +308,16 @@ mod tests {
         let m = SingleDiodeModule::pv_mf165eb3();
         let amb = stc_ambient(&m);
         let curve = m.iv_curve(Irradiance::STC, amb, 400);
-        assert!((curve.isc().value() - 7.36).abs() < 0.05, "Isc {}", curve.isc());
-        assert!((curve.voc().value() - 30.4).abs() < 0.2, "Voc {}", curve.voc());
+        assert!(
+            (curve.isc().value() - 7.36).abs() < 0.05,
+            "Isc {}",
+            curve.isc()
+        );
+        assert!(
+            (curve.voc().value() - 30.4).abs() < 0.2,
+            "Voc {}",
+            curve.voc()
+        );
         let mpp = curve.mpp();
         assert!(
             (mpp.power().as_watts() - 165.0).abs() < 8.0,

@@ -42,8 +42,8 @@
 mod array;
 mod error;
 mod iv;
-pub mod mppt;
 mod module;
+pub mod mppt;
 mod wiring;
 
 pub use array::{panel_output, PanelOutput, Topology};

@@ -238,9 +238,8 @@ impl EmpiricalModule {
     #[must_use]
     pub fn isc(&self, irradiance: Irradiance, ambient: Celsius) -> Amperes {
         let tact = self.actual_temperature(irradiance, ambient).as_celsius();
-        let i = self.isc_ref.value()
-            * irradiance.stc_fraction()
-            * (1.0 + self.alpha_i * (tact - 25.0));
+        let i =
+            self.isc_ref.value() * irradiance.stc_fraction() * (1.0 + self.alpha_i * (tact - 25.0));
         Amperes::new(i.max(0.0))
     }
 }
@@ -312,7 +311,9 @@ mod tests {
         let hot = m.power(g, Celsius::new(35.0));
         assert!(cold.as_watts() > hot.as_watts());
         // -0.48 %/°C over 35 °C ~ 16.8 % loss.
-        let expected_ratio = 1.0 - 0.0048 * 35.0 / (1.12 - 0.0048 * m.actual_temperature(g, Celsius::new(0.0)).as_celsius());
+        let expected_ratio = 1.0
+            - 0.0048 * 35.0
+                / (1.12 - 0.0048 * m.actual_temperature(g, Celsius::new(0.0)).as_celsius());
         let ratio = hot.as_watts() / cold.as_watts();
         assert!((ratio - expected_ratio).abs() < 0.02, "ratio {ratio}");
     }

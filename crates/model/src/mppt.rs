@@ -105,7 +105,10 @@ mod tests {
         }
         let true_p = m.mpp(g, t).power().as_watts();
         let got = tr.operating_point(&m, g, t).power().as_watts();
-        assert!((true_p - got).abs() / true_p < 0.02, "true {true_p} got {got}");
+        assert!(
+            (true_p - got).abs() / true_p < 0.02,
+            "true {true_p} got {got}"
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
         }
         let true_p = m.mpp(g2, t).power().as_watts();
         let got = tr.operating_point(&m, g2, t).power().as_watts();
-        assert!((true_p - got).abs() / true_p < 0.03, "true {true_p} got {got}");
+        assert!(
+            (true_p - got).abs() / true_p < 0.03,
+            "true {true_p} got {got}"
+        );
     }
 
     #[test]

@@ -174,7 +174,11 @@ mod tests {
     #[test]
     fn hops_shorter_than_connector_do_not_go_negative() {
         let spec = WiringSpec::awg10(); // 1.6 m connector
-        let centers = [Point::new(0.0, 0.0), Point::new(0.1, 0.0), Point::new(5.0, 0.0)];
+        let centers = [
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(5.0, 0.0),
+        ];
         let ovh = string_wiring_overhead(&centers, &spec);
         // First hop clamps to 0, second is 4.9 - 1.6 = 3.3.
         assert!((ovh.extra_length.as_meters() - 3.3).abs() < 1e-12);

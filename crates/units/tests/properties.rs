@@ -1,7 +1,9 @@
 //! Property-based tests for the quantity newtypes.
 
 use proptest::prelude::*;
-use pv_units::{Amperes, Celsius, Degrees, Irradiance, Meters, Minutes, Ohms, Volts, WattHours, Watts};
+use pv_units::{
+    Amperes, Celsius, Degrees, Irradiance, Meters, Minutes, Ohms, Volts, WattHours, Watts,
+};
 
 proptest! {
     /// Addition/subtraction of same-unit quantities matches raw arithmetic

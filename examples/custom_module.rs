@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
         .build();
     let clock = SimulationClock::days_at_minutes(30, 60);
-    let data = SolarExtractor::new(Site::turin(), clock).seed(3).extract(&roof);
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(3)
+        .extract(&roof);
 
     let config = pvfloorplan::floorplan::FloorplanConfig::new(
         module,

@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(2018)
             .extract(&scenario.dsm);
         let map = SuitabilityMap::compute(&data, &config);
-        let compact =
-            pvfloorplan::floorplan::traditional_placement_with_map(&data, &config, &map)?;
+        let compact = pvfloorplan::floorplan::traditional_placement_with_map(&data, &config, &map)?;
         let proposed = pvfloorplan::floorplan::greedy_placement_with_map(&data, &config, &map)?;
         let e_c = evaluator.evaluate(&data, &compact)?;
         let e_p = evaluator.evaluate(&data, &proposed)?;

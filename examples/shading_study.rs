@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
         .build();
     let clock = SimulationClock::days_at_minutes(60, 60);
-    let data = SolarExtractor::new(Site::turin(), clock).seed(7).extract(&roof);
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(7)
+        .extract(&roof);
 
     // Shadow frequency around the HVAC unit.
     println!("beam-shadow fraction (sampled cells up-slope of the unit):");

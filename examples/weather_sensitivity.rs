@@ -34,15 +34,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let evaluator = EnergyEvaluator::new(&config);
 
     // Plan on the design year...
-    let design_year = SolarExtractor::new(Site::turin(), clock).seed(1).extract(&roof);
+    let design_year = SolarExtractor::new(Site::turin(), clock)
+        .seed(1)
+        .extract(&roof);
     let proposed = greedy_placement(&design_year, &config)?;
     let compact = traditional_placement(&design_year, &config)?;
 
     // ...evaluate against other years.
     println!("placement planned on seed 1, evaluated across weather years:\n");
-    println!("{:>6} {:>14} {:>14} {:>8}", "seed", "compact kWh", "proposed kWh", "gain");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "seed", "compact kWh", "proposed kWh", "gain"
+    );
     for seed in 1..=6 {
-        let year = SolarExtractor::new(Site::turin(), clock).seed(seed).extract(&roof);
+        let year = SolarExtractor::new(Site::turin(), clock)
+            .seed(seed)
+            .extract(&roof);
         let e_c = evaluator.evaluate(&year, &compact)?;
         let e_p = evaluator.evaluate(&year, &proposed)?;
         println!(

@@ -10,9 +10,7 @@
 //!        [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
 //! ```
 
-use pvfloorplan::floorplan::{
-    greedy_placement_with_map, render, traditional_placement_with_map,
-};
+use pvfloorplan::floorplan::{greedy_placement_with_map, render, traditional_placement_with_map};
 use pvfloorplan::prelude::*;
 
 struct Args {
@@ -91,6 +89,27 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
+    }
+    if !(args.width > 0.0 && args.width.is_finite() && args.depth > 0.0 && args.depth.is_finite()) {
+        return Err(format!(
+            "--width and --depth must be positive metres, got {} x {}",
+            args.width, args.depth
+        ));
+    }
+    if args.days == 0 || args.step == 0 {
+        return Err("--days and --step must be positive".to_string());
+    }
+    if args.days > 365 {
+        return Err(format!(
+            "--days is capped at one year (365), got {}",
+            args.days
+        ));
+    }
+    if !(1440u32).is_multiple_of(args.step) {
+        return Err(format!(
+            "--step must divide the 1440-minute day evenly, got {}",
+            args.step
+        ));
     }
     Ok(args)
 }

@@ -168,7 +168,9 @@ fn wiring_overhead_is_marginal_as_claimed() {
     let data = dataset(20);
     let config = FloorplanConfig::paper(Topology::new(4, 2).unwrap()).unwrap();
     let plan = greedy_placement(&data, &config).unwrap();
-    let report = EnergyEvaluator::new(&config).evaluate(&data, &plan).unwrap();
+    let report = EnergyEvaluator::new(&config)
+        .evaluate(&data, &plan)
+        .unwrap();
     assert!(
         report.wiring_loss_fraction() < 0.02,
         "wiring loss fraction {}",

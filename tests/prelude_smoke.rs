@@ -1,0 +1,69 @@
+//! Smoke test of the public prelude: the README/rustdoc quickstart
+//! pipeline — `RoofBuilder` → `SolarExtractor` → `greedy_placement` →
+//! `EnergyEvaluator` — must run end-to-end using only `prelude::*`
+//! imports and produce positive energy on a tiny 4-day clock.
+
+use pvfloorplan::prelude::*;
+
+#[test]
+fn quickstart_pipeline_produces_positive_energy() {
+    let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(5.0))
+        .tilt(Degrees::new(26.0))
+        .azimuth(Degrees::new(180.0))
+        .obstacle(Obstacle::chimney(
+            Meters::new(4.0),
+            Meters::new(1.0),
+            Meters::new(0.8),
+            Meters::new(0.8),
+            Meters::new(1.8),
+        ))
+        .build();
+
+    let clock = SimulationClock::days_at_minutes(4, 60);
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(42)
+        .extract(&roof);
+
+    let config = FloorplanConfig::paper(Topology::new(2, 2).expect("2x2 topology is non-empty"))
+        .expect("paper config accepts a 2x2 topology");
+    let plan: FloorplanResult = greedy_placement(&data, &config).expect("roof fits 4 modules");
+    let report: EnergyReport = EnergyEvaluator::new(&config)
+        .evaluate(&data, &plan)
+        .expect("evaluation succeeds on the greedy plan");
+
+    // The headline assertion from the quickstart.
+    assert!(report.energy.as_wh() > 0.0, "no energy produced");
+
+    // Structural sanity reachable through prelude types alone.
+    assert_eq!(plan.placement.len(), 4);
+    assert!(report.gross_energy.as_wh() >= report.energy.as_wh());
+    assert!(data.valid().count() > 0);
+}
+
+#[test]
+fn prelude_exposes_both_placers_and_weather() {
+    // Every prelude name used here must resolve without reaching into
+    // sub-crates: this test pins the facade's public surface.
+    let clock = SimulationClock::days_at_minutes(4, 60);
+    let samples = WeatherGenerator::new(7).generate(clock);
+    assert_eq!(samples.len(), clock.num_steps() as usize);
+
+    let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0)).build();
+    let data = SolarExtractor::new(Site::turin(), clock)
+        .seed(7)
+        .extract(&roof);
+    let config = FloorplanConfig::paper(Topology::new(2, 1).unwrap()).unwrap();
+
+    let greedy = greedy_placement(&data, &config).unwrap();
+    let traditional = traditional_placement(&data, &config).unwrap();
+    let map = SuitabilityMap::compute(&data, &config);
+
+    assert_eq!(greedy.placement.len(), traditional.placement.len());
+    // The suitability landscape scores at least every valid anchor.
+    assert!(
+        map.anchor_scores(config.footprint())
+            .iter()
+            .any(|s| s.is_finite()),
+        "no finite anchor scores"
+    );
+}

@@ -1,0 +1,510 @@
+//! Minimal, deterministic, API-compatible stub of the `proptest` crate.
+//!
+//! The build container cannot reach the crates.io registry, so this stub
+//! implements the surface the `pvfloorplan` workspace uses: the
+//! [`proptest!`] macro (both `arg in strategy` and `arg: Type` parameter
+//! forms, with an optional `#![proptest_config(..)]` header), range and
+//! tuple strategies, [`collection::vec`], [`arbitrary::any`],
+//! [`prop_assert!`]/[`prop_assert_eq!`], and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: cases are drawn from a fixed-seed PRNG, so every run of a given
+//! test binary explores the same inputs. On failure the offending input is
+//! printed in full, which substitutes for shrinking at the scales used
+//! here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a fixed seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// `any::<T>()` strategies for types with a canonical full-range
+/// distribution.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use core::marker::PhantomData;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, magnitude up to ~1e6.
+            (rng.unit_f64() * 2.0 - 1.0) * 1e6
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy with length drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and driver.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use core::fmt;
+
+    /// How many cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases drawn per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drive one property: draw `config.cases` inputs from `strategy` and
+    /// run `test` on each, panicking (with the input) on the first failure.
+    pub fn run_proptest<S, F>(config: ProptestConfig, strategy: S, name: &str, test: F)
+    where
+        S: Strategy,
+        S::Value: fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            // Per-case seed keyed on the property name so sibling tests
+            // explore different streams.
+            let mut seed = 0xB5AD_4ECE_DA1C_E2A9u64 ^ u64::from(case);
+            for b in name.bytes() {
+                seed = seed
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from(b));
+            }
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.sample(&mut rng);
+            let repr = format!("{value:#?}");
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest property `{name}` failed at case {case}/{total}: {e}\ninput: {repr}",
+                    total = config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property, reporting the failing input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property, reporting both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a property, reporting both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and, per test, parameters written
+/// either as `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` item inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr] $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_parse_params! {
+            cfg = [$cfg];
+            metas = [$(#[$meta])*];
+            name = $name;
+            body = $body;
+            pats = ();
+            strats = ();
+            params = ($($params)*)
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+/// Internal: munch the parameter list of one property into parallel
+/// pattern/strategy tuples, then emit the test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse_params {
+    // Terminal: emit the test function.
+    (
+        cfg = [$cfg:expr];
+        metas = [$(#[$meta:meta])*];
+        name = $name:ident;
+        body = $body:block;
+        pats = ($($pat:pat_param,)*);
+        strats = ($($strat:expr,)*);
+        params = ()
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategy = ($($strat,)*);
+            $crate::test_runner::run_proptest(
+                config,
+                strategy,
+                stringify!($name),
+                |($($pat,)*)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    };
+    // `name: Type, ...`
+    (
+        cfg = [$cfg:expr];
+        metas = [$(#[$meta:meta])*];
+        name = $name:ident;
+        body = $body:block;
+        pats = ($($pat:pat_param,)*);
+        strats = ($($strat:expr,)*);
+        params = ($p:ident : $ty:ty, $($rest:tt)*)
+    ) => {
+        $crate::__proptest_parse_params! {
+            cfg = [$cfg];
+            metas = [$(#[$meta])*];
+            name = $name;
+            body = $body;
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $crate::arbitrary::any::<$ty>(),);
+            params = ($($rest)*)
+        }
+    };
+    // `name: Type` (final parameter, no trailing comma)
+    (
+        cfg = [$cfg:expr];
+        metas = [$(#[$meta:meta])*];
+        name = $name:ident;
+        body = $body:block;
+        pats = ($($pat:pat_param,)*);
+        strats = ($($strat:expr,)*);
+        params = ($p:ident : $ty:ty)
+    ) => {
+        $crate::__proptest_parse_params! {
+            cfg = [$cfg];
+            metas = [$(#[$meta])*];
+            name = $name;
+            body = $body;
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $crate::arbitrary::any::<$ty>(),);
+            params = ()
+        }
+    };
+    // `pat in strategy, ...`
+    (
+        cfg = [$cfg:expr];
+        metas = [$(#[$meta:meta])*];
+        name = $name:ident;
+        body = $body:block;
+        pats = ($($pat:pat_param,)*);
+        strats = ($($strat:expr,)*);
+        params = ($p:pat_param in $s:expr, $($rest:tt)*)
+    ) => {
+        $crate::__proptest_parse_params! {
+            cfg = [$cfg];
+            metas = [$(#[$meta])*];
+            name = $name;
+            body = $body;
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $s,);
+            params = ($($rest)*)
+        }
+    };
+    // `pat in strategy` (final parameter, no trailing comma)
+    (
+        cfg = [$cfg:expr];
+        metas = [$(#[$meta:meta])*];
+        name = $name:ident;
+        body = $body:block;
+        pats = ($($pat:pat_param,)*);
+        strats = ($($strat:expr,)*);
+        params = ($p:pat_param in $s:expr)
+    ) => {
+        $crate::__proptest_parse_params! {
+            cfg = [$cfg];
+            metas = [$(#[$meta])*];
+            name = $name;
+            body = $body;
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $s,);
+            params = ()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies respect their bounds; both parameter forms
+        /// parse; `prop::collection::vec` sizes respect the size range.
+        #[test]
+        fn stub_self_check(x in -5.0..5.0f64, n in 1usize..10, flag: bool,
+                           v in prop::collection::vec((0usize..4, 0u32..7), 1..6)) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!((1..6).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 7);
+            }
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(x, x + 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest property")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run_proptest(
+            ProptestConfig::with_cases(4),
+            (0usize..3,),
+            "always_fails",
+            |(_n,)| {
+                crate::prop_assert!(false, "forced failure");
+                Ok(())
+            },
+        );
+    }
+}
