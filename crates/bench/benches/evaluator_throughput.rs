@@ -1,0 +1,114 @@
+//! Benchmark of the energy evaluator's batched/parallel refactor — the
+//! Sec. V-D runtime story at evaluation granularity.
+//!
+//! Three rungs on the paper's Roof 2 at the 30-day smoke resolution,
+//! N = 32 (the heaviest published topology):
+//!
+//! 1. `scalar_reference` — the pre-batching triple loop
+//!    (steps × modules × cells scalar irradiance composition);
+//! 2. `batched_seq` — the batched popcount/SVF-sum kernel on one thread;
+//! 3. `batched_4thr` — the same kernel over 4-way time-chunk parallelism
+//!    (speedup bounded by the machine's core count; identical results
+//!    regardless).
+//!
+//! Also times extraction (sequential vs 4 threads) for the same reason.
+//! Pass `--test` to run each body once (CI keeps the bench green without
+//! paying for measurements).
+//!
+//! Run: `cargo bench -p pv_bench --bench evaluator_throughput`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pv_bench::{extract_scenario_with, scalar_reference_energy, Resolution, WEATHER_SEED};
+use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
+use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
+use pv_model::Topology;
+use pv_runtime::Runtime;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let dataset = extract_scenario_with(&scenario, Resolution::Smoke, Runtime::from_env());
+    let config = FloorplanConfig::paper(Topology::new(8, 4).expect("topology")).expect("config");
+    let map = SuitabilityMap::compute(&dataset, &config);
+    let plan = greedy_placement_with_map(&dataset, &config, &map).expect("fits");
+
+    let mut group = c.benchmark_group("evaluator_throughput");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("scalar_reference"),
+        &plan,
+        |b, plan| {
+            b.iter(|| scalar_reference_energy(&dataset, &config, plan));
+        },
+    );
+    for (label, runtime) in [
+        ("batched_seq", Runtime::sequential()),
+        ("batched_4thr", Runtime::with_threads(4)),
+    ] {
+        let evaluator = EnergyEvaluator::new(&config).with_runtime(runtime);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| evaluator.evaluate(&dataset, plan).expect("sized"));
+        });
+    }
+
+    // The mean-irradiance stage in isolation (no electrical model), to pin
+    // the raw kernel speedup free of Amdahl dilution.
+    let module_cells: Vec<Vec<pv_geom::CellCoord>> = (0..plan.placement.len())
+        .map(|k| plan.placement.cells_of(k).collect())
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("means_scalar"),
+        &module_cells,
+        |b, cells| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for i in 0..dataset.num_steps() {
+                    for group in cells {
+                        acc += group
+                            .iter()
+                            .map(|&c| dataset.irradiance(c, i).as_w_per_m2())
+                            .sum::<f64>()
+                            / group.len() as f64;
+                    }
+                }
+                acc
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("means_batched"),
+        &module_cells,
+        |b, cells| {
+            let batch = dataset.batch(cells);
+            let mut out = vec![0.0f64; dataset.num_steps() as usize * cells.len()];
+            b.iter(|| {
+                dataset.mean_irradiance_into(&batch, 0..dataset.num_steps(), &mut out);
+                out[0]
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_extractor(c: &mut Criterion) {
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let clock = Resolution::Smoke.clock();
+    let mut group = c.benchmark_group("extractor_threads");
+    for (label, runtime) in [
+        ("extract_seq", Runtime::sequential()),
+        ("extract_4thr", Runtime::with_threads(4)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &clock, |b, &clock| {
+            let extractor = SolarExtractor::new(Site::turin(), clock)
+                .seed(WEATHER_SEED)
+                .runtime(runtime);
+            b.iter(|| extractor.extract(&scenario.dsm));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench_evaluator, bench_extractor
+}
+criterion_main!(benches);

@@ -5,17 +5,18 @@
 //! weak-module bottleneck (its Roof 1 discussion) and uses the distance
 //! threshold to contain wiring overhead; this harness isolates both.
 //!
-//! Usage: `cargo run -p pv-bench --bin ablation_greedy --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin ablation_greedy --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{extract_scenario, Resolution};
+use pv_bench::{extract_scenario_with, runtime_from_args, Resolution};
 use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
 use pv_gis::{PaperRoof, RoofScenario};
 use pv_model::Topology;
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     let scenario = RoofScenario::build(PaperRoof::Roof2);
-    let dataset = extract_scenario(&scenario, resolution);
+    let dataset = extract_scenario_with(&scenario, resolution, runtime);
     let topology = Topology::new(8, 4).expect("valid topology");
 
     println!(
@@ -61,6 +62,7 @@ fn main() {
         let map = SuitabilityMap::compute(&dataset, &config);
         let plan = greedy_placement_with_map(&dataset, &config, &map).expect("fits");
         let report = EnergyEvaluator::new(&config)
+            .with_runtime(runtime)
             .evaluate(&dataset, &plan)
             .expect("sized");
         println!(

@@ -4,23 +4,25 @@
 //! The paper cannot compare against an exhaustive algorithm at roof scale
 //! (Sec. V-B); at toy scale we can, quantifying the greedy heuristic's gap.
 //!
-//! Usage: `cargo run -p pv-bench --bin ablation_optimality --release`
+//! Usage: `cargo run -p pv-bench --bin ablation_optimality --release [--threads N]`
 
-use pv_floorplan::anneal::{anneal, AnnealConfig};
-use pv_floorplan::exact::optimal_placement;
+use pv_bench::runtime_from_args;
+use pv_floorplan::anneal::{anneal_with_runtime, AnnealConfig};
+use pv_floorplan::exact::optimal_placement_with_runtime;
 use pv_floorplan::{greedy_placement, EnergyEvaluator, FloorplanConfig};
 use pv_gis::{Obstacle, RoofBuilder, Site, SolarExtractor};
 use pv_model::Topology;
 use pv_units::{Degrees, Meters, SimulationClock};
 
 fn main() {
+    let runtime = runtime_from_args();
     println!("A3: optimality study\n");
-    exact_study();
-    anneal_study();
+    exact_study(runtime);
+    anneal_study(runtime);
 }
 
 /// Greedy vs exhaustive optimum on a family of tiny shaded roofs.
-fn exact_study() {
+fn exact_study(runtime: pv_runtime::Runtime) {
     println!("-- greedy vs exhaustive optimum (tiny roofs, 2 modules in series) --");
     println!(
         "{:<26} {:>12} {:>12} {:>8}",
@@ -44,6 +46,7 @@ fn exact_study() {
             .build();
         let data = SolarExtractor::new(Site::turin(), clock)
             .seed(41)
+            .runtime(runtime)
             .extract(&roof);
         let config =
             FloorplanConfig::paper(Topology::new(2, 1).expect("topology")).expect("config");
@@ -52,8 +55,8 @@ fn exact_study() {
             .evaluate(&data, &greedy)
             .expect("sized")
             .energy;
-        let (_, optimal_wh) =
-            optimal_placement(&data, &config, 5_000_000).expect("search feasible");
+        let (_, optimal_wh) = optimal_placement_with_runtime(&data, &config, 5_000_000, runtime)
+            .expect("search feasible");
         let gap = (1.0 - greedy_wh.as_wh() / optimal_wh.as_wh()) * 100.0;
         println!(
             "{:<26} {:>12.1} {:>12.1} {:>7.2}%",
@@ -67,7 +70,7 @@ fn exact_study() {
 }
 
 /// Greedy vs annealing refinement on a mid-size obstructed roof.
-fn anneal_study() {
+fn anneal_study(runtime: pv_runtime::Runtime) {
     println!("-- greedy vs simulated-annealing refinement (12x5 m roof, 8 modules) --");
     let roof = RoofBuilder::new(Meters::new(12.0), Meters::new(5.0))
         .obstacle(Obstacle::chimney(
@@ -88,6 +91,7 @@ fn anneal_study() {
     let clock = SimulationClock::days_at_minutes(30, 60);
     let data = SolarExtractor::new(Site::turin(), clock)
         .seed(41)
+        .runtime(runtime)
         .extract(&roof);
     let config = FloorplanConfig::paper(Topology::new(4, 2).expect("topology")).expect("config");
     let greedy = greedy_placement(&data, &config).expect("fits");
@@ -95,7 +99,7 @@ fn anneal_study() {
         .evaluate(&data, &greedy)
         .expect("sized")
         .energy;
-    let (_, annealed_wh) = anneal(
+    let (_, annealed_wh) = anneal_with_runtime(
         &data,
         &config,
         &greedy,
@@ -104,6 +108,7 @@ fn anneal_study() {
             seed: 7,
             ..AnnealConfig::default()
         },
+        runtime,
     )
     .expect("anneal");
     println!(

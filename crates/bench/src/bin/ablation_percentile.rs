@@ -5,17 +5,19 @@
 //! distributions and picks the 75th percentile with an f(T) correction;
 //! this harness quantifies that choice.
 //!
-//! Usage: `cargo run -p pv-bench --bin ablation_percentile --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin ablation_percentile --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{extract_scenario, Resolution};
+use pv_bench::{extract_scenario_with, runtime_from_args, Resolution};
 use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
 use pv_gis::{PaperRoof, RoofScenario};
 use pv_model::Topology;
+use pv_runtime::Runtime;
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     let scenario = RoofScenario::build(PaperRoof::Roof2);
-    let dataset = extract_scenario(&scenario, resolution);
+    let dataset = extract_scenario_with(&scenario, resolution, runtime);
     let topology = Topology::new(8, 2).expect("valid topology");
 
     println!(
@@ -24,7 +26,11 @@ fn main() {
     );
     println!("{:<28} {:>12} {:>9}", "metric", "energy MWh", "vs p75+fT");
 
-    let reference = run(&dataset, FloorplanConfig::paper(topology).expect("config"));
+    let reference = run(
+        &dataset,
+        FloorplanConfig::paper(topology).expect("config"),
+        runtime,
+    );
     for (label, config) in [
         (
             "p50 (median) + f(T)",
@@ -55,7 +61,7 @@ fn main() {
                 .with_percentile(0.25),
         ),
     ] {
-        let energy = run(&dataset, config);
+        let energy = run(&dataset, config, runtime);
         println!(
             "{:<28} {:>12.3} {:>+8.2}%",
             label,
@@ -65,10 +71,11 @@ fn main() {
     }
 }
 
-fn run(dataset: &pv_gis::SolarDataset, config: FloorplanConfig) -> f64 {
+fn run(dataset: &pv_gis::SolarDataset, config: FloorplanConfig, runtime: Runtime) -> f64 {
     let map = SuitabilityMap::compute(dataset, &config);
     let plan = greedy_placement_with_map(dataset, &config, &map).expect("fits");
     EnergyEvaluator::new(&config)
+        .with_runtime(runtime)
         .evaluate(dataset, &plan)
         .expect("sized")
         .energy

@@ -1,11 +1,35 @@
-use pv_bench::{extract_scenario, Resolution};
+//! Pipeline diagnostics dump, plus the Sec. V-D before/after timing probe
+//! (`--timings`) whose numbers are recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p pv_bench --bin diag --release [--fast|--smoke] [--threads N] [--timings]`
+//!
+//! `--fast`/`--smoke` select the diagnostics resolution (default: fast,
+//! one year at hourly steps); the `--timings` probe is always pinned to
+//! the 30-day smoke configuration so its numbers stay comparable across
+//! runs (the EXPERIMENTS.md row is keyed to that scale).
+
+use pv_bench::{extract_scenario_with, runtime_from_args, scalar_reference_energy, Resolution};
 use pv_floorplan::*;
-use pv_gis::{PaperRoof, RoofScenario};
+use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
 use pv_model::Topology;
+use pv_runtime::Runtime;
+use std::time::Instant;
 
 fn main() {
+    let runtime = runtime_from_args();
+    if std::env::args().any(|a| a == "--timings") {
+        timings(runtime);
+        return;
+    }
+    let resolution = if std::env::args().any(|a| a == "--smoke") {
+        Resolution::Smoke
+    } else {
+        // Default to fast: the paper resolution adds nothing to these
+        // structural diagnostics.
+        Resolution::Fast
+    };
     let scenario = RoofScenario::build(PaperRoof::Roof2);
-    let dataset = extract_scenario(&scenario, Resolution::Fast);
+    let dataset = extract_scenario_with(&scenario, resolution, runtime);
     let config = FloorplanConfig::paper(Topology::new(8, 4).unwrap()).unwrap();
     let map = SuitabilityMap::compute(&dataset, &config);
     let anchors = map.anchor_scores(config.footprint());
@@ -44,11 +68,78 @@ fn main() {
     let prop = greedy_placement_with_map(&dataset, &config, &map).unwrap();
     println!("trad mean anchor score: {:.1}", trad.mean_anchor_score);
     println!("prop mean anchor score: {:.1}", prop.mean_anchor_score);
-    let ev = EnergyEvaluator::new(&config);
+    let ev = EnergyEvaluator::new(&config).with_runtime(runtime);
     for (name, plan) in [("trad", &trad), ("prop", &prop)] {
         let r = ev.evaluate(&dataset, plan).unwrap();
         println!("{name}: net {:.3} MWh gross {:.3} unconstrained {:.3} mismatch {:.2}% wire {:.1}m loss {:.2} kWh",
             r.energy.as_mwh(), r.gross_energy.as_mwh(), r.sum_of_module_energy.as_mwh(),
             r.mismatch_fraction()*100.0, r.extra_wire.as_meters(), r.wiring_loss.as_kwh());
     }
+}
+
+/// Times the solar extractor and the energy evaluator before/after the
+/// `pv_runtime` refactor: scalar reference vs batched kernel, sequential
+/// vs parallel. Roof 2, 30 days at hourly steps, N = 32.
+fn timings(runtime: Runtime) {
+    let scenario = RoofScenario::build(PaperRoof::Roof2);
+    let clock = Resolution::Smoke.clock();
+    let config = FloorplanConfig::paper(Topology::new(8, 4).unwrap()).unwrap();
+    println!(
+        "Sec. V-D timing probe — Roof 2, {} steps, N = 32, {} worker thread(s)",
+        clock.num_steps(),
+        runtime.threads()
+    );
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        f(); // warm-up
+        let reps = 5;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3
+    };
+
+    let seq_extractor = SolarExtractor::new(Site::turin(), clock)
+        .seed(pv_bench::WEATHER_SEED)
+        .runtime(Runtime::sequential());
+    let par_extractor = seq_extractor.clone().runtime(runtime);
+    let t_extract_seq = time(&mut || {
+        std::hint::black_box(seq_extractor.extract(&scenario.dsm));
+    });
+    let t_extract_par = time(&mut || {
+        std::hint::black_box(par_extractor.extract(&scenario.dsm));
+    });
+
+    let dataset = par_extractor.extract(&scenario.dsm);
+    let map = SuitabilityMap::compute(&dataset, &config);
+    let plan = greedy_placement_with_map(&dataset, &config, &map).unwrap();
+    let t_scalar = time(&mut || {
+        std::hint::black_box(scalar_reference_energy(&dataset, &config, &plan));
+    });
+    let seq_eval = EnergyEvaluator::new(&config).with_runtime(Runtime::sequential());
+    let par_eval = EnergyEvaluator::new(&config).with_runtime(runtime);
+    let t_batched_seq = time(&mut || {
+        std::hint::black_box(seq_eval.evaluate(&dataset, &plan).unwrap());
+    });
+    let t_batched_par = time(&mut || {
+        std::hint::black_box(par_eval.evaluate(&dataset, &plan).unwrap());
+    });
+
+    println!("extractor  sequential        {t_extract_seq:9.1} ms");
+    println!(
+        "extractor  {} thread(s)       {t_extract_par:9.1} ms  ({:.2}x)",
+        runtime.threads(),
+        t_extract_seq / t_extract_par
+    );
+    println!("evaluator  scalar reference  {t_scalar:9.1} ms  (pre-refactor baseline)");
+    println!(
+        "evaluator  batched, 1 thread {t_batched_seq:9.1} ms  ({:.2}x vs scalar)",
+        t_scalar / t_batched_seq
+    );
+    println!(
+        "evaluator  batched, {} thr    {t_batched_par:9.1} ms  ({:.2}x vs scalar)",
+        runtime.threads(),
+        t_scalar / t_batched_par
+    );
 }

@@ -4,22 +4,23 @@
 //! Writes one PGM image per roof to `target/figures/` and prints ASCII
 //! previews.
 //!
-//! Usage: `cargo run -p pv-bench --bin fig6_irradiance --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin fig6_irradiance --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{extract_scenario, figures_dir, Resolution};
+use pv_bench::{extract_scenario_with, figures_dir, runtime_from_args, Resolution};
 use pv_floorplan::{render, FloorplanConfig, SuitabilityMap};
 use pv_gis::paper_roofs;
 use pv_model::Topology;
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     let config =
         FloorplanConfig::paper(Topology::new(8, 2).expect("valid topology")).expect("paper config");
     let dir = figures_dir();
     println!("Fig 6-(b) reproduction — {}\n", resolution.label());
 
     for scenario in paper_roofs() {
-        let dataset = extract_scenario(&scenario, resolution);
+        let dataset = extract_scenario_with(&scenario, resolution, runtime);
         let map = SuitabilityMap::compute(&dataset, &config);
         let g75 = map.irradiance_percentile();
 

@@ -3,9 +3,9 @@
 //! indices (panels with the same digit are connected in series), `.` is
 //! free suitable area, `x` is unusable.
 //!
-//! Usage: `cargo run -p pv-bench --bin fig7_placements --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin fig7_placements --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{extract_scenario, Resolution};
+use pv_bench::{extract_scenario_with, runtime_from_args, Resolution};
 use pv_floorplan::{
     greedy_placement_with_map, render, traditional_placement_with_map, EnergyEvaluator,
     FloorplanConfig, SuitabilityMap,
@@ -15,6 +15,7 @@ use pv_model::Topology;
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     let config =
         FloorplanConfig::paper(Topology::new(8, 4).expect("valid topology")).expect("paper config");
     println!(
@@ -23,9 +24,9 @@ fn main() {
     );
 
     for scenario in paper_roofs() {
-        let dataset = extract_scenario(&scenario, resolution);
+        let dataset = extract_scenario_with(&scenario, resolution, runtime);
         let map = SuitabilityMap::compute(&dataset, &config);
-        let evaluator = EnergyEvaluator::new(&config);
+        let evaluator = EnergyEvaluator::new(&config).with_runtime(runtime);
 
         let traditional =
             traditional_placement_with_map(&dataset, &config, &map).expect("compact block fits");

@@ -5,9 +5,9 @@
 //! metre per year; overhead ~0.05%/m of yearly production; worst-case extra
 //! wire ~20 m; cost ~1 $/m.
 //!
-//! Usage: `cargo run -p pv-bench --bin overhead --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin overhead --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{extract_scenario, Resolution};
+use pv_bench::{extract_scenario_with, runtime_from_args, Resolution};
 use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
 use pv_gis::paper_roofs;
 use pv_model::{Topology, WiringSpec};
@@ -15,6 +15,7 @@ use pv_units::{Amperes, Meters};
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     println!("Sec. V-C overhead assessment — {}\n", resolution.label());
 
     // Static cable characterization (paper's conservative numbers).
@@ -37,13 +38,14 @@ fn main() {
         "Roof", "N", "energy MWh", "wire m", "loss kWh", "loss %", "%/m"
     );
     for scenario in paper_roofs() {
-        let dataset = extract_scenario(&scenario, resolution);
+        let dataset = extract_scenario_with(&scenario, resolution, runtime);
         for n in [16usize, 32] {
             let topology = Topology::new(8, n / 8).expect("paper topology");
             let config = FloorplanConfig::paper(topology).expect("paper config");
             let map = SuitabilityMap::compute(&dataset, &config);
             let plan = greedy_placement_with_map(&dataset, &config, &map).expect("fits");
             let report = EnergyEvaluator::new(&config)
+                .with_runtime(runtime)
                 .evaluate(&dataset, &plan)
                 .expect("sized");
             let loss_pct = report.wiring_loss_fraction() * 100.0;

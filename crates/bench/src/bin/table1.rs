@@ -1,15 +1,16 @@
 //! E1 — regenerates **Table I**: traditional vs proposed yearly production
 //! on the three roofs for N = 16 and N = 32 (8-series strings).
 //!
-//! Usage: `cargo run -p pv-bench --bin table1 --release [--fast|--smoke]`
+//! Usage: `cargo run -p pv-bench --bin table1 --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{compare_row, extract_scenario, Resolution};
+use pv_bench::{compare_row_with, extract_scenario_with, runtime_from_args, Resolution};
 use pv_floorplan::Table1Report;
 use pv_gis::paper_roofs;
 use std::time::Instant;
 
 fn main() {
     let resolution = Resolution::from_args();
+    let runtime = runtime_from_args();
     println!("Table I reproduction — {}", resolution.label());
     println!("(absolute MWh depend on the synthetic weather; the paper's");
     println!(" published % gains are shown in the right column)\n");
@@ -18,11 +19,11 @@ fn main() {
     let start = Instant::now();
     for scenario in paper_roofs() {
         let t0 = Instant::now();
-        let dataset = extract_scenario(&scenario, resolution);
+        let dataset = extract_scenario_with(&scenario, resolution, runtime);
         let extract_s = t0.elapsed().as_secs_f64();
         for n in [16usize, 32] {
             let t1 = Instant::now();
-            report.push(compare_row(&scenario, &dataset, n));
+            report.push(compare_row_with(&scenario, &dataset, n, runtime));
             eprintln!(
                 "  {} N={n}: extract {extract_s:.1}s, place+evaluate {:.1}s",
                 scenario.name(),

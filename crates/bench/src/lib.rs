@@ -7,11 +7,12 @@
 
 use pv_floorplan::{
     greedy_placement_with_map, traditional_placement_with_map, ComparisonRow, EnergyEvaluator,
-    FloorplanConfig, SuitabilityMap,
+    FloorplanConfig, FloorplanResult, SuitabilityMap,
 };
 use pv_gis::{RoofScenario, Site, SolarDataset, SolarExtractor};
-use pv_model::Topology;
-use pv_units::SimulationClock;
+use pv_model::{string_wiring_overhead, ModuleModel, OperatingPoint, Topology};
+use pv_runtime::Runtime;
+use pv_units::{Amperes, Irradiance, Meters, SimulationClock, Volts, WattHours, Watts};
 use std::path::PathBuf;
 
 /// The weather seed shared by all experiments (all three roofs are
@@ -64,11 +65,49 @@ impl Resolution {
     }
 }
 
-/// Extracts the solar dataset of a paper roof at the given resolution.
+/// Parses the shared `--threads N` harness flag into a [`Runtime`],
+/// falling back to [`Runtime::from_env`] (`PV_THREADS` or the machine's
+/// parallelism) when the flag is absent. Every harness binary accepts the
+/// flag; results are identical for every setting.
+///
+/// A malformed value exits with an error rather than being silently
+/// ignored — a typo must not invalidate the thread count a measurement
+/// run was supposed to pin.
+#[must_use]
+pub fn runtime_from_args() -> Runtime {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Runtime::from_env();
+    };
+    match args.get(i + 1).map(|v| pv_runtime::parse_threads(v)) {
+        Some(Some(n)) => Runtime::with_threads(n),
+        _ => {
+            eprintln!(
+                "Error: --threads expects a positive integer, got {:?}",
+                args.get(i + 1).map_or("nothing", String::as_str)
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Extracts the solar dataset of a paper roof at the given resolution,
+/// on [`Runtime::from_env`] workers.
 #[must_use]
 pub fn extract_scenario(scenario: &RoofScenario, resolution: Resolution) -> SolarDataset {
+    extract_scenario_with(scenario, resolution, Runtime::from_env())
+}
+
+/// [`extract_scenario`] on an explicit [`Runtime`] (the `--threads` path).
+#[must_use]
+pub fn extract_scenario_with(
+    scenario: &RoofScenario,
+    resolution: Resolution,
+    runtime: Runtime,
+) -> SolarDataset {
     SolarExtractor::new(Site::turin(), resolution.clock())
         .seed(WEATHER_SEED)
+        .runtime(runtime)
         .extract(&scenario.dsm)
 }
 
@@ -85,6 +124,22 @@ pub fn compare_row(
     dataset: &SolarDataset,
     n_modules: usize,
 ) -> ComparisonRow {
+    compare_row_with(scenario, dataset, n_modules, Runtime::from_env())
+}
+
+/// [`compare_row`] on an explicit [`Runtime`] (the `--threads` path).
+///
+/// # Panics
+///
+/// Panics when a placement fails on a paper roof (cannot happen for the
+/// published `N`; the roofs have ample space).
+#[must_use]
+pub fn compare_row_with(
+    scenario: &RoofScenario,
+    dataset: &SolarDataset,
+    n_modules: usize,
+    runtime: Runtime,
+) -> ComparisonRow {
     let topology = Topology::new(8, n_modules / 8).expect("paper topologies are 8-series");
     let config = FloorplanConfig::paper(topology).expect("paper module aligns to 20 cm grid");
     let map = SuitabilityMap::compute(dataset, &config);
@@ -92,7 +147,7 @@ pub fn compare_row(
         .expect("compact block fits the paper roofs");
     let proposed =
         greedy_placement_with_map(dataset, &config, &map).expect("greedy fits the paper roofs");
-    let evaluator = EnergyEvaluator::new(&config);
+    let evaluator = EnergyEvaluator::new(&config).with_runtime(runtime);
     let trad_report = evaluator
         .evaluate(dataset, &traditional)
         .expect("sized by construction");
@@ -109,6 +164,85 @@ pub fn compare_row(
         proposed: prop_report.energy,
         published_gain_percent: scenario.roof.published_gain_percent(n_modules),
     }
+}
+
+/// The pre-batching scalar reference evaluation: recompute the full
+/// per-cell irradiance composition inside a steps × modules × cells triple
+/// loop, exactly as `EnergyEvaluator` did before the batched kernel.
+///
+/// Kept as the "before" baseline the `evaluator_throughput` bench and
+/// `diag --timings` pin the batched kernel's speedup against (EXPERIMENTS
+/// Sec. V-D). Agrees with the evaluator up to floating-point association.
+///
+/// # Panics
+///
+/// Panics when the plan's module count differs from the configured
+/// topology.
+#[must_use]
+pub fn scalar_reference_energy(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    plan: &FloorplanResult,
+) -> WattHours {
+    let topology = config.topology();
+    let n_modules = topology.num_modules();
+    assert_eq!(plan.placement.len(), n_modules, "plan/topology mismatch");
+    let module = config.module();
+    let wiring = config.wiring();
+
+    let mut strings: Vec<Vec<usize>> = vec![Vec::new(); topology.strings()];
+    for (k, &s) in plan.string_of.iter().enumerate() {
+        strings[s].push(k);
+    }
+    let module_cells: Vec<Vec<pv_geom::CellCoord>> = (0..n_modules)
+        .map(|k| plan.placement.cells_of(k).collect())
+        .collect();
+    let string_extra: Vec<Meters> = strings
+        .iter()
+        .map(|mods| {
+            let centers: Vec<pv_geom::Point> =
+                mods.iter().map(|&k| plan.placement.center(k)).collect();
+            string_wiring_overhead(&centers, wiring).extra_length
+        })
+        .collect();
+
+    let mut gross = 0.0f64;
+    let mut loss = 0.0f64;
+    let mut ops: Vec<OperatingPoint> = vec![OperatingPoint::default(); n_modules];
+    for i in 0..dataset.num_steps() {
+        let cond = dataset.conditions(i);
+        if !cond.sun_up {
+            continue;
+        }
+        for k in 0..n_modules {
+            let cells = &module_cells[k];
+            let mean_g = cells
+                .iter()
+                .map(|&c| dataset.irradiance(c, i).as_w_per_m2())
+                .sum::<f64>()
+                / cells.len() as f64;
+            ops[k] = module.operating_point(Irradiance::from_w_per_m2(mean_g), cond.ambient);
+        }
+        let mut v_panel = f64::INFINITY;
+        let mut i_panel = 0.0f64;
+        let mut step_loss = 0.0f64;
+        for (j, mods) in strings.iter().enumerate() {
+            let v: f64 = mods.iter().map(|&k| ops[k].voltage.value()).sum();
+            let i_str = mods
+                .iter()
+                .map(|&k| ops[k].current.value())
+                .fold(f64::INFINITY, f64::min);
+            v_panel = v_panel.min(v);
+            i_panel += i_str;
+            step_loss += wiring
+                .power_loss(string_extra[j], Amperes::new(i_str))
+                .as_watts();
+        }
+        let p_panel = (Volts::new(v_panel) * Amperes::new(i_panel)).as_watts();
+        gross += p_panel;
+        loss += step_loss.min(p_panel);
+    }
+    Watts::new(gross - loss).over(dataset.step_duration())
 }
 
 /// Directory where harness binaries write figures (`target/figures`).
@@ -137,6 +271,22 @@ mod tests {
         assert!(row.proposed.as_wh() > 0.0);
         assert_eq!(row.n_modules, 16);
         assert_eq!(row.ng, scenario.dsm.valid().count());
+    }
+
+    #[test]
+    fn scalar_reference_agrees_with_batched_evaluator() {
+        let scenario = RoofScenario::build(PaperRoof::Roof1);
+        let dataset = extract_scenario(&scenario, Resolution::Smoke);
+        let config = FloorplanConfig::paper(Topology::new(8, 2).unwrap()).unwrap();
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let plan = greedy_placement_with_map(&dataset, &config, &map).unwrap();
+        let batched = EnergyEvaluator::new(&config)
+            .evaluate(&dataset, &plan)
+            .unwrap()
+            .energy;
+        let reference = scalar_reference_energy(&dataset, &config, &plan);
+        let rel = (batched.as_wh() - reference.as_wh()).abs() / reference.as_wh();
+        assert!(rel < 1e-9, "batched {batched:?} vs reference {reference:?}");
     }
 
     #[test]

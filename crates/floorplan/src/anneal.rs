@@ -75,7 +75,31 @@ pub fn anneal(
     initial: &FloorplanResult,
     params: AnnealConfig,
 ) -> Result<(FloorplanResult, WattHours), FloorplanError> {
-    let evaluator = EnergyEvaluator::new(config);
+    anneal_with_runtime(
+        dataset,
+        config,
+        initial,
+        params,
+        pv_runtime::Runtime::from_env(),
+    )
+}
+
+/// [`anneal`] on an explicit [`Runtime`](pv_runtime::Runtime) (the
+/// `--threads` path) — energy evaluations run time-chunk parallel on it;
+/// the chain itself is inherently sequential. Results are identical for
+/// every thread count.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (e.g. a size-mismatched initial plan).
+pub fn anneal_with_runtime(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    initial: &FloorplanResult,
+    params: AnnealConfig,
+    runtime: pv_runtime::Runtime,
+) -> Result<(FloorplanResult, WattHours), FloorplanError> {
+    let evaluator = EnergyEvaluator::new(config).with_runtime(runtime);
     let footprint = config.footprint();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -94,6 +118,38 @@ pub fn anneal(
         });
     }
 
+    // One context for the whole chain: each proposal relocates a single
+    // module in place (refreshing only that module's batch group and its
+    // string's wiring) instead of rebuilding placement, module-cell lists
+    // and wiring from scratch per candidate.
+    let mut ctx = evaluator.context(dataset, initial)?;
+    let mut current_energy = ctx.evaluate().energy;
+    let mut best_anchors = ctx.anchors();
+    let mut best_energy = current_energy;
+
+    let mut temperature = params.initial_temperature * current_energy.as_wh().max(1.0);
+    for _ in 0..params.iterations {
+        let victim = rng.gen_range(0..initial.placement.len());
+        let proposal_anchor = anchors[rng.gen_range(0..anchors.len())];
+
+        if let Ok(old_anchor) = ctx.relocate(victim, proposal_anchor) {
+            let energy = ctx.evaluate().energy;
+            let delta = energy.as_wh() - current_energy.as_wh();
+            let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature.max(1e-12)).exp();
+            if accept {
+                current_energy = energy;
+                if energy.as_wh() > best_energy.as_wh() {
+                    best_energy = energy;
+                    best_anchors = ctx.anchors();
+                }
+            } else {
+                ctx.relocate(victim, old_anchor)
+                    .expect("undoing a move to the prior anchor is always feasible");
+            }
+        }
+        temperature *= params.cooling;
+    }
+
     let rebuild = |anchor_list: &[CellCoord]| -> Option<FloorplanResult> {
         let mut placement = Placement::new(dataset.dims(), footprint);
         for &a in anchor_list {
@@ -105,40 +161,6 @@ pub fn anneal(
             mean_anchor_score: f64::NAN,
         })
     };
-
-    let mut current_anchors: Vec<CellCoord> = initial
-        .placement
-        .modules()
-        .iter()
-        .map(|m| m.anchor)
-        .collect();
-    let mut current_energy = evaluator.evaluate(dataset, initial)?.energy;
-    let mut best_anchors = current_anchors.clone();
-    let mut best_energy = current_energy;
-
-    let mut temperature = params.initial_temperature * current_energy.as_wh().max(1.0);
-    for _ in 0..params.iterations {
-        let victim = rng.gen_range(0..current_anchors.len());
-        let proposal_anchor = anchors[rng.gen_range(0..anchors.len())];
-        let mut proposal = current_anchors.clone();
-        proposal[victim] = proposal_anchor;
-
-        if let Some(plan) = rebuild(&proposal) {
-            let energy = evaluator.evaluate(dataset, &plan)?.energy;
-            let delta = energy.as_wh() - current_energy.as_wh();
-            let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature.max(1e-12)).exp();
-            if accept {
-                current_anchors = proposal;
-                current_energy = energy;
-                if energy.as_wh() > best_energy.as_wh() {
-                    best_energy = energy;
-                    best_anchors = current_anchors.clone();
-                }
-            }
-        }
-        temperature *= params.cooling;
-    }
-
     let best = rebuild(&best_anchors).expect("best state was feasible when accepted");
     Ok((best, best_energy))
 }

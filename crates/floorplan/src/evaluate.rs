@@ -4,13 +4,33 @@
 //! from the mean irradiance over its covered cells, aggregates strings with
 //! the series/parallel bottleneck equations, subtracts the wiring RI² loss
 //! of each string's extra cable, and integrates over the simulation period.
+//!
+//! The implementation is split in two:
+//!
+//! - [`EvaluationContext`] holds all static per-plan state — covered cells
+//!   per module as a batched irradiance kernel
+//!   ([`pv_gis::IrradianceBatch`]), string membership, string wiring
+//!   overheads — built once and reused across repeated evaluations (the
+//!   annealer and the exhaustive search evaluate hundreds of candidates);
+//! - the integration loop runs over fixed-size time chunks on a
+//!   [`Runtime`], folding partial sums in chunk order so the report is
+//!   **bit-identical for every thread count** (the workspace determinism
+//!   guarantee, see DESIGN.md).
 
 use crate::config::FloorplanConfig;
 use crate::error::FloorplanError;
 use crate::greedy::FloorplanResult;
-use pv_gis::SolarDataset;
+use pv_geom::{CellCoord, Placement};
+use pv_gis::{IrradianceBatch, SolarDataset};
 use pv_model::{string_wiring_overhead, ModuleModel, OperatingPoint};
+use pv_runtime::Runtime;
 use pv_units::{Amperes, Irradiance, Meters, Volts, WattHours, Watts};
+
+/// Time steps per parallel work unit of the integration loop.
+///
+/// Fixed (never derived from the thread count) so partial energy sums are
+/// always folded over identical step windows.
+const STEP_CHUNK: usize = 256;
 
 /// Evaluation result for one placement over the simulation period.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,13 +82,54 @@ impl EnergyReport {
 #[derive(Clone, Debug)]
 pub struct EnergyEvaluator<'a> {
     config: &'a FloorplanConfig,
+    runtime: Runtime,
 }
 
 impl<'a> EnergyEvaluator<'a> {
     /// Creates an evaluator borrowing the run configuration.
+    ///
+    /// The integration loop runs on [`Runtime::from_env`] workers
+    /// (`PV_THREADS` or the machine's parallelism); override with
+    /// [`with_runtime`](Self::with_runtime). Reports are bit-identical for
+    /// every thread count.
     #[must_use]
-    pub const fn new(config: &'a FloorplanConfig) -> Self {
-        Self { config }
+    pub fn new(config: &'a FloorplanConfig) -> Self {
+        Self {
+            config,
+            runtime: Runtime::from_env(),
+        }
+    }
+
+    /// Sets the parallel runtime used by the integration loop.
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The configured parallel runtime.
+    #[inline]
+    #[must_use]
+    pub const fn runtime(&self) -> Runtime {
+        self.runtime
+    }
+
+    /// Builds a reusable [`EvaluationContext`] for `plan` — the entry
+    /// point for search loops that evaluate many variations of one plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::PlacementSizeMismatch`] when the plan's
+    /// module count differs from the configured topology.
+    pub fn context<'d>(
+        &self,
+        dataset: &'d SolarDataset,
+        plan: &FloorplanResult,
+    ) -> Result<EvaluationContext<'d>, FloorplanError>
+    where
+        'a: 'd,
+    {
+        EvaluationContext::new(dataset, self.config, self.runtime, plan)
     }
 
     /// Integrates the yearly energy of `plan` over `dataset`.
@@ -82,7 +143,38 @@ impl<'a> EnergyEvaluator<'a> {
         dataset: &SolarDataset,
         plan: &FloorplanResult,
     ) -> Result<EnergyReport, FloorplanError> {
-        let topology = self.config.topology();
+        Ok(self.context(dataset, plan)?.evaluate())
+    }
+}
+
+/// Static per-plan evaluation state, built once and evaluated many times.
+///
+/// Owns a copy of the plan's [`Placement`] so search loops can mutate it
+/// in place: [`relocate`](Self::relocate) moves one module and refreshes
+/// exactly the state that depends on it (its batch group and its string's
+/// wiring overhead), which is what simulated annealing needs per proposal.
+#[derive(Clone, Debug)]
+pub struct EvaluationContext<'d> {
+    dataset: &'d SolarDataset,
+    config: &'d FloorplanConfig,
+    runtime: Runtime,
+    placement: Placement,
+    /// Module indices of each series string, in series-connection order.
+    strings: Vec<Vec<usize>>,
+    /// `string_of[k]` = series string of module `k`.
+    string_of: Vec<usize>,
+    batch: IrradianceBatch,
+    string_extra: Vec<Meters>,
+}
+
+impl<'d> EvaluationContext<'d> {
+    fn new(
+        dataset: &'d SolarDataset,
+        config: &'d FloorplanConfig,
+        runtime: Runtime,
+        plan: &FloorplanResult,
+    ) -> Result<Self, FloorplanError> {
+        let topology = config.topology();
         let n_modules = topology.num_modules();
         if plan.placement.len() != n_modules {
             return Err(FloorplanError::PlacementSizeMismatch {
@@ -90,88 +182,159 @@ impl<'a> EnergyEvaluator<'a> {
                 actual: plan.placement.len(),
             });
         }
-        let module = self.config.module();
-        let wiring = self.config.wiring();
-        let m = topology.series();
-        let n_strings = topology.strings();
 
         // Per-string module order (series connection order = enumeration
         // order within the string).
-        let mut strings: Vec<Vec<usize>> = vec![Vec::with_capacity(m); n_strings];
+        let mut strings: Vec<Vec<usize>> =
+            vec![Vec::with_capacity(topology.series()); topology.strings()];
         for (k, &s) in plan.string_of.iter().enumerate() {
             strings[s].push(k);
         }
-        debug_assert!(strings.iter().all(|s| s.len() == m));
+        debug_assert!(strings.iter().all(|s| s.len() == topology.series()));
 
-        // Static per-module data: covered cells and mean SVF; static
-        // per-string extra cable resistance.
-        let module_cells: Vec<Vec<pv_geom::CellCoord>> = (0..n_modules)
+        let module_cells: Vec<Vec<CellCoord>> = (0..n_modules)
             .map(|k| plan.placement.cells_of(k).collect())
             .collect();
-        let string_extra: Vec<Meters> = strings
-            .iter()
-            .map(|mods| {
-                let centers: Vec<pv_geom::Point> =
-                    mods.iter().map(|&k| plan.placement.center(k)).collect();
-                string_wiring_overhead(&centers, wiring).extra_length
-            })
-            .collect();
-        let extra_wire: Meters = string_extra.iter().copied().sum();
+        let batch = dataset.batch(&module_cells);
 
-        let dt = dataset.step_duration();
-        let mut gross = 0.0f64;
-        let mut loss = 0.0f64;
-        let mut unconstrained = 0.0f64;
-
-        let mut ops: Vec<OperatingPoint> = vec![OperatingPoint::default(); n_modules];
-        for i in 0..dataset.num_steps() {
-            let cond = dataset.conditions(i);
-            if !cond.sun_up {
-                continue;
-            }
-            let ambient = cond.ambient;
-            for k in 0..n_modules {
-                let cells = &module_cells[k];
-                let mean_g = cells
-                    .iter()
-                    .map(|&c| dataset.irradiance(c, i).as_w_per_m2())
-                    .sum::<f64>()
-                    / cells.len() as f64;
-                let g = Irradiance::from_w_per_m2(mean_g);
-                ops[k] = module.operating_point(g, ambient);
-                unconstrained += ops[k].power().as_watts();
-            }
-
-            // Series/parallel bottleneck (paper Sec. III-B1).
-            let mut v_panel = f64::INFINITY;
-            let mut i_panel = 0.0f64;
-            let mut step_loss = 0.0f64;
-            for (j, mods) in strings.iter().enumerate() {
-                let v: f64 = mods.iter().map(|&k| ops[k].voltage.value()).sum();
-                let i_str = mods
-                    .iter()
-                    .map(|&k| ops[k].current.value())
-                    .fold(f64::INFINITY, f64::min);
-                v_panel = v_panel.min(v);
-                i_panel += i_str;
-                step_loss += wiring
-                    .power_loss(string_extra[j], Amperes::new(i_str))
-                    .as_watts();
-            }
-            let p_panel = (Volts::new(v_panel) * Amperes::new(i_panel)).as_watts();
-            gross += p_panel;
-            loss += step_loss.min(p_panel);
+        let mut context = Self {
+            dataset,
+            config,
+            runtime,
+            placement: plan.placement.clone(),
+            strings,
+            string_of: plan.string_of.clone(),
+            batch,
+            string_extra: vec![Meters::ZERO; topology.strings()],
+        };
+        for j in 0..context.strings.len() {
+            context.refresh_string_wiring(j);
         }
+        Ok(context)
+    }
 
+    /// The current placement under evaluation.
+    #[inline]
+    #[must_use]
+    pub const fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Current module anchors, in module order.
+    #[must_use]
+    pub fn anchors(&self) -> Vec<CellCoord> {
+        self.placement.modules().iter().map(|m| m.anchor).collect()
+    }
+
+    /// Moves module `k` to `anchor`, refreshing the state that depends on
+    /// it. On error the context is unchanged; on success the previous
+    /// anchor is returned so the move can be undone with another
+    /// `relocate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::Geometry`] when the new position is out
+    /// of bounds, covers invalid cells, or overlaps another module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn relocate(&mut self, k: usize, anchor: CellCoord) -> Result<CellCoord, FloorplanError> {
+        let old = self
+            .placement
+            .try_relocate(k, anchor, self.dataset.valid())?;
+        let cells: Vec<CellCoord> = self.placement.cells_of(k).collect();
+        self.batch.set_group(self.dataset, k, &cells);
+        self.refresh_string_wiring(self.string_of[k]);
+        Ok(old)
+    }
+
+    /// Recomputes the wiring overhead of string `j` from current centres.
+    fn refresh_string_wiring(&mut self, j: usize) {
+        let centers: Vec<pv_geom::Point> = self.strings[j]
+            .iter()
+            .map(|&k| self.placement.center(k))
+            .collect();
+        self.string_extra[j] = string_wiring_overhead(&centers, self.config.wiring()).extra_length;
+    }
+
+    /// Integrates the energy of the current placement over the dataset.
+    ///
+    /// Time chunks of fixed size are integrated independently (in parallel
+    /// on the context's [`Runtime`]) over the batched irradiance kernel;
+    /// partial sums are folded in chunk order, so the report is identical
+    /// for every thread count.
+    #[must_use]
+    pub fn evaluate(&self) -> EnergyReport {
+        let module = self.config.module();
+        let wiring = self.config.wiring();
+        let n_modules = self.placement.len();
+        let num_steps = self.dataset.num_steps() as usize;
+        let extra_wire: Meters = self.string_extra.iter().copied().sum();
+
+        let (gross, loss, unconstrained) = self.runtime.reduce_chunks(
+            num_steps,
+            STEP_CHUNK,
+            |steps| {
+                let mut means = vec![0.0f64; steps.len() * n_modules];
+                self.dataset.mean_irradiance_into(
+                    &self.batch,
+                    steps.start as u32..steps.end as u32,
+                    &mut means,
+                );
+                let mut ops: Vec<OperatingPoint> = vec![OperatingPoint::default(); n_modules];
+                let mut gross = 0.0f64;
+                let mut loss = 0.0f64;
+                let mut unconstrained = 0.0f64;
+                for (rel, i) in steps.enumerate() {
+                    let cond = self.dataset.conditions(i as u32);
+                    if !cond.sun_up {
+                        continue;
+                    }
+                    let ambient = cond.ambient;
+                    let row = &means[rel * n_modules..(rel + 1) * n_modules];
+                    for k in 0..n_modules {
+                        let g = Irradiance::from_w_per_m2(row[k]);
+                        ops[k] = module.operating_point(g, ambient);
+                        unconstrained += ops[k].power().as_watts();
+                    }
+
+                    // Series/parallel bottleneck (paper Sec. III-B1).
+                    let mut v_panel = f64::INFINITY;
+                    let mut i_panel = 0.0f64;
+                    let mut step_loss = 0.0f64;
+                    for (j, mods) in self.strings.iter().enumerate() {
+                        let v: f64 = mods.iter().map(|&k| ops[k].voltage.value()).sum();
+                        let i_str = mods
+                            .iter()
+                            .map(|&k| ops[k].current.value())
+                            .fold(f64::INFINITY, f64::min);
+                        v_panel = v_panel.min(v);
+                        i_panel += i_str;
+                        step_loss += wiring
+                            .power_loss(self.string_extra[j], Amperes::new(i_str))
+                            .as_watts();
+                    }
+                    let p_panel = (Volts::new(v_panel) * Amperes::new(i_panel)).as_watts();
+                    gross += p_panel;
+                    loss += step_loss.min(p_panel);
+                }
+                (gross, loss, unconstrained)
+            },
+            (0.0f64, 0.0f64, 0.0f64),
+            |acc, part| (acc.0 + part.0, acc.1 + part.1, acc.2 + part.2),
+        );
+
+        let dt = self.dataset.step_duration();
         let to_energy = |w: f64| Watts::new(w).over(dt);
-        Ok(EnergyReport {
+        EnergyReport {
             energy: to_energy(gross - loss),
             gross_energy: to_energy(gross),
             wiring_loss: to_energy(loss),
             sum_of_module_energy: to_energy(unconstrained),
             extra_wire,
             wire_cost: wiring.cost(extra_wire),
-        })
+        }
     }
 }
 
@@ -205,6 +368,86 @@ mod tests {
         assert!(report.gross_energy.as_wh() >= report.energy.as_wh());
         assert!(report.sum_of_module_energy.as_wh() >= report.gross_energy.as_wh() - 1e-9);
         assert!((0.0..=1.0).contains(&report.mismatch_fraction()));
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_thread_counts() {
+        let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(5.0),
+                Meters::new(1.5),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build();
+        let data = dataset(&roof, 5);
+        let cfg = config(2, 2);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let seq = EnergyEvaluator::new(&cfg)
+            .with_runtime(Runtime::sequential())
+            .evaluate(&data, &plan)
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = EnergyEvaluator::new(&cfg)
+                .with_runtime(Runtime::with_threads(threads))
+                .evaluate(&data, &plan)
+                .unwrap();
+            assert_eq!(seq, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn context_relocate_matches_fresh_context() {
+        let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(5.0),
+                Meters::new(1.5),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build();
+        let data = dataset(&roof, 3);
+        let cfg = config(2, 1);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
+        let mut ctx = evaluator.context(&data, &plan).unwrap();
+
+        // Move module 1 to a fresh anchor, then compare against a context
+        // built from scratch on the moved placement.
+        let target = pv_geom::CellCoord::new(30, 10);
+        let old = ctx.relocate(1, target).unwrap();
+        assert_ne!(old, target);
+        let moved_plan = FloorplanResult {
+            placement: ctx.placement().clone(),
+            string_of: plan.string_of.clone(),
+            mean_anchor_score: f64::NAN,
+        };
+        let fresh = evaluator.context(&data, &moved_plan).unwrap().evaluate();
+        assert_eq!(ctx.evaluate(), fresh);
+
+        // Undo restores the original report exactly.
+        ctx.relocate(1, old).unwrap();
+        let original = evaluator.context(&data, &plan).unwrap().evaluate();
+        assert_eq!(ctx.evaluate(), original);
+    }
+
+    #[test]
+    fn relocate_rejects_overlap_and_preserves_state() {
+        let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0)).build();
+        let data = dataset(&roof, 2);
+        let cfg = config(2, 1);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
+        let mut ctx = evaluator.context(&data, &plan).unwrap();
+        let before = ctx.evaluate();
+        let other = ctx.placement().modules()[0].anchor;
+        assert!(matches!(
+            ctx.relocate(1, other),
+            Err(FloorplanError::Geometry(_))
+        ));
+        assert_eq!(ctx.evaluate(), before);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::greedy::FloorplanResult;
 use crate::suitability::SuitabilityMap;
 use pv_geom::{CellCoord, Placement};
 use pv_gis::SolarDataset;
+use pv_runtime::Runtime;
 
 /// Exhaustively searches all anchor combinations and returns the
 /// energy-optimal placement together with its energy.
@@ -47,6 +48,22 @@ pub fn optimal_placement(
     config: &FloorplanConfig,
     node_budget: u64,
 ) -> Result<(FloorplanResult, pv_units::WattHours), FloorplanError> {
+    optimal_placement_with_runtime(dataset, config, node_budget, Runtime::from_env())
+}
+
+/// [`optimal_placement`] on an explicit [`Runtime`] (the `--threads`
+/// path) — candidate subtrees are searched on its workers. Results are
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_placement`].
+pub fn optimal_placement_with_runtime(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    node_budget: u64,
+    runtime: Runtime,
+) -> Result<(FloorplanResult, pv_units::WattHours), FloorplanError> {
     let footprint = config.footprint();
     let topology = config.topology();
     let n_modules = topology.num_modules();
@@ -69,9 +86,13 @@ pub fn optimal_placement(
         });
     }
 
-    let evaluator = EnergyEvaluator::new(config);
-    let mut best: Option<(FloorplanResult, pv_units::WattHours)> = None;
-    let mut chosen: Vec<CellCoord> = Vec::with_capacity(n_modules);
+    // Candidate subtrees (grouped by first-chosen anchor) are independent,
+    // so they are searched in parallel and their winners merged in
+    // ascending first-index order — the exact visit order of the
+    // sequential scan, so tie-breaks (`>`: first seen wins) and therefore
+    // the result are thread-count independent. Leaf evaluations run on a
+    // sequential evaluator to keep the parallelism at the subtree level.
+    let leaf_evaluator = EnergyEvaluator::new(config).with_runtime(Runtime::sequential());
 
     // Depth-first enumeration of anchor combinations in index order.
     #[allow(clippy::too_many_arguments)]
@@ -83,29 +104,18 @@ pub fn optimal_placement(
         dataset: &SolarDataset,
         config: &FloorplanConfig,
         evaluator: &EnergyEvaluator<'_>,
-        best: &mut Option<(FloorplanResult, pv_units::WattHours)>,
+        best: &mut Option<(Vec<CellCoord>, pv_units::WattHours)>,
     ) {
         if chosen.len() == n_modules {
-            let mut placement = Placement::new(dataset.dims(), config.footprint());
-            for &anchor in chosen.iter() {
-                if placement.try_place(anchor, dataset.valid()).is_err() {
-                    return; // overlapping combination
-                }
-            }
-            let string_of = (0..n_modules)
-                .map(|k| config.topology().string_of(k))
-                .collect();
-            let plan = FloorplanResult {
-                placement,
-                string_of,
-                mean_anchor_score: f64::NAN,
+            let Some(plan) = build_plan(chosen, dataset, config) else {
+                return; // overlapping combination
             };
             if let Ok(report) = evaluator.evaluate(dataset, &plan) {
                 let better = best
                     .as_ref()
                     .is_none_or(|(_, e)| report.energy.as_wh() > e.as_wh());
                 if better {
-                    *best = Some((plan, report.energy));
+                    *best = Some((chosen.clone(), report.energy));
                 }
             }
             return;
@@ -130,22 +140,67 @@ pub fn optimal_placement(
         }
     }
 
-    recurse(
-        &candidates,
-        0,
-        &mut chosen,
-        n_modules,
-        dataset,
-        config,
-        &evaluator,
-        &mut best,
-    );
+    let best = runtime
+        .map_chunks(candidates.len(), 1, |first| {
+            let mut best: Option<(Vec<CellCoord>, pv_units::WattHours)> = None;
+            let mut chosen: Vec<CellCoord> = Vec::with_capacity(n_modules);
+            for i in first {
+                chosen.push(candidates[i]);
+                recurse(
+                    &candidates,
+                    i + 1,
+                    &mut chosen,
+                    n_modules,
+                    dataset,
+                    config,
+                    &leaf_evaluator,
+                    &mut best,
+                );
+                chosen.pop();
+            }
+            best
+        })
+        .into_iter()
+        .fold(
+            None::<(Vec<CellCoord>, pv_units::WattHours)>,
+            |acc, part| match (acc, part) {
+                (None, part) => part,
+                (acc, None) => acc,
+                (Some(a), Some(b)) => Some(if b.1.as_wh() > a.1.as_wh() { b } else { a }),
+            },
+        );
 
     // Overlap pruning happens inside; prune-by-overlap earlier would be
     // faster but the budget keeps instances tiny by construction.
-    best.ok_or(FloorplanError::NotEnoughSpace {
+    best.map(|(anchors, energy)| {
+        let plan = build_plan(&anchors, dataset, config)
+            .expect("the winning combination was feasible when evaluated");
+        (plan, energy)
+    })
+    .ok_or(FloorplanError::NotEnoughSpace {
         placed: 0,
         requested: n_modules,
+    })
+}
+
+/// Places `anchors` in order, assigning strings series-first; `None` when
+/// the combination overlaps.
+fn build_plan(
+    anchors: &[CellCoord],
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+) -> Option<FloorplanResult> {
+    let mut placement = Placement::new(dataset.dims(), config.footprint());
+    for &anchor in anchors {
+        placement.try_place(anchor, dataset.valid()).ok()?;
+    }
+    let string_of = (0..anchors.len())
+        .map(|k| config.topology().string_of(k))
+        .collect();
+    Some(FloorplanResult {
+        placement,
+        string_of,
+        mean_anchor_score: f64::NAN,
     })
 }
 
@@ -227,6 +282,30 @@ mod tests {
             greedy_energy.as_wh(),
             best_energy.as_wh()
         );
+    }
+
+    #[test]
+    fn exact_search_is_thread_count_invariant() {
+        // Ties between equal-energy combinations are broken by visit
+        // order; the parallel subtree merge must reproduce it exactly.
+        let roof = RoofBuilder::new(Meters::new(3.2), Meters::new(1.6)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .seed(6)
+            .extract(&roof);
+        let cfg = config(2, 1);
+        let (seq_plan, seq_wh) =
+            optimal_placement_with_runtime(&data, &cfg, 1_000_000, Runtime::sequential()).unwrap();
+        for threads in [2usize, 5] {
+            let (par_plan, par_wh) = optimal_placement_with_runtime(
+                &data,
+                &cfg,
+                1_000_000,
+                Runtime::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(seq_plan.placement.modules(), par_plan.placement.modules());
+            assert_eq!(seq_wh, par_wh);
+        }
     }
 
     #[test]

@@ -232,11 +232,12 @@ fn select_candidate(
     tie_target: Option<Point>,
     center_of: impl Fn(CellCoord) -> Point,
 ) -> Option<(usize, CellCoord, f64)> {
-    let within = |anchor: CellCoord| -> bool {
-        if threshold.is_infinite() || placement.is_empty() {
-            return true;
-        }
-        // Distance from the candidate to the placed modules' centroid.
+    // The placed-modules centroid is invariant across the scan — compute
+    // it once per call, not once per candidate (the scan visits O(cells)
+    // candidates per pick).
+    let centroid = if threshold.is_infinite() || placement.is_empty() {
+        None
+    } else {
         let n = placement.len() as f64;
         let mut cx = 0.0;
         let mut cy = 0.0;
@@ -245,8 +246,11 @@ fn select_candidate(
             cx += p.x;
             cy += p.y;
         }
-        let centroid = Point::new(cx / n, cy / n);
-        euclidean(center_of(anchor), centroid).as_meters() <= threshold
+        Some(Point::new(cx / n, cy / n))
+    };
+    let within = |anchor: CellCoord| -> bool {
+        // Distance from the candidate to the placed modules' centroid.
+        centroid.is_none_or(|c| euclidean(center_of(anchor), c).as_meters() <= threshold)
     };
 
     // `front_score` is the best suitability of any eligible candidate; the

@@ -7,6 +7,7 @@ use pv_floorplan::{
 };
 use pv_gis::{Obstacle, RoofBuilder, Site, SolarDataset, SolarExtractor};
 use pv_model::Topology;
+use pv_runtime::Runtime;
 use pv_units::{Degrees, Meters, SimulationClock};
 
 fn dataset(width_m: f64, depth_m: f64, seed: u64, chimney_x: f64) -> SolarDataset {
@@ -87,6 +88,28 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&r.mismatch_fraction()));
         prop_assert!(r.extra_wire.as_meters() >= 0.0);
         prop_assert!((r.wire_cost - r.extra_wire.as_meters()).abs() < 1e-9);
+    }
+
+    /// Parallel evaluation is bit-identical to sequential: for random
+    /// roofs, topologies and thread counts, the `EnergyReport` produced on
+    /// `PV_THREADS=1` equals the one produced on `PV_THREADS=k` *exactly*
+    /// (full struct equality, no tolerance) — the determinism contract of
+    /// `pv_runtime`'s fixed chunking and ordered reduction.
+    #[test]
+    fn parallel_evaluation_is_bit_identical(seed in 0u64..300, m in 1usize..4, n in 1usize..3,
+                                            cx in 2.0..10.0f64, threads in 2usize..9) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(m, n).unwrap()).unwrap();
+        let plan = greedy_placement(&data, &config).unwrap();
+        let sequential = EnergyEvaluator::new(&config)
+            .with_runtime(Runtime::sequential())
+            .evaluate(&data, &plan)
+            .unwrap();
+        let parallel = EnergyEvaluator::new(&config)
+            .with_runtime(Runtime::with_threads(threads))
+            .evaluate(&data, &plan)
+            .unwrap();
+        prop_assert_eq!(sequential, parallel);
     }
 
     /// The suitability map scores valid cells finitely and positively

@@ -140,27 +140,61 @@ impl Placement {
     /// unchanged.
     pub fn try_place(&mut self, anchor: CellCoord, valid: &CellMask) -> Result<usize, GeomError> {
         self.check(anchor, valid)?;
+        self.cover(anchor, true);
+        self.modules.push(PlacedModule { anchor });
+        Ok(self.modules.len() - 1)
+    }
+
+    /// Moves module `i` to a new anchor, validating against `valid`.
+    ///
+    /// The module's current cells do not count as occupied during the
+    /// check, so relocating onto (or overlapping) its own footprint is
+    /// allowed. On error the placement is unchanged; on success the
+    /// previous anchor is returned (handy for undo).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`check`](Self::check) with module `i` ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn try_relocate(
+        &mut self,
+        i: usize,
+        anchor: CellCoord,
+        valid: &CellMask,
+    ) -> Result<CellCoord, GeomError> {
+        let old = self.modules[i].anchor;
+        self.cover(old, false);
+        match self.check(anchor, valid) {
+            Ok(()) => {
+                self.cover(anchor, true);
+                self.modules[i].anchor = anchor;
+                Ok(old)
+            }
+            Err(e) => {
+                self.cover(old, true);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sets or clears the covered bits of a footprint at `anchor`.
+    fn cover(&mut self, anchor: CellCoord, on: bool) {
         let (w, h) = (self.footprint.width_cells(), self.footprint.height_cells());
         for dy in 0..h {
             for dx in 0..w {
                 self.covered
-                    .set(CellCoord::new(anchor.x + dx, anchor.y + dy), true);
+                    .set(CellCoord::new(anchor.x + dx, anchor.y + dy), on);
             }
         }
-        self.modules.push(PlacedModule { anchor });
-        Ok(self.modules.len() - 1)
     }
 
     /// Removes the most recently placed module, returning it.
     pub fn pop(&mut self) -> Option<PlacedModule> {
         let m = self.modules.pop()?;
-        let (w, h) = (self.footprint.width_cells(), self.footprint.height_cells());
-        for dy in 0..h {
-            for dx in 0..w {
-                self.covered
-                    .set(CellCoord::new(m.anchor.x + dx, m.anchor.y + dy), false);
-            }
-        }
+        self.cover(m.anchor, false);
         Some(m)
     }
 
@@ -273,6 +307,42 @@ mod tests {
         assert_eq!(p.covered_cells().count(), before);
         // The freed area is placeable again.
         assert!(p.try_place(CellCoord::new(10, 0), &mask).is_ok());
+    }
+
+    #[test]
+    fn relocate_moves_module_and_covers() {
+        let (_, mask, mut p) = setup();
+        p.try_place(CellCoord::new(0, 0), &mask).unwrap();
+        p.try_place(CellCoord::new(8, 0), &mask).unwrap();
+        let old = p.try_relocate(0, CellCoord::new(0, 6), &mask).unwrap();
+        assert_eq!(old, CellCoord::new(0, 0));
+        assert_eq!(p.modules()[0].anchor, CellCoord::new(0, 6));
+        assert_eq!(p.covered_cells().count(), 64);
+        assert!(!p.covered_cells().is_set(CellCoord::new(0, 0)));
+        assert!(p.covered_cells().is_set(CellCoord::new(0, 6)));
+    }
+
+    #[test]
+    fn relocate_onto_own_footprint_allowed() {
+        let (_, mask, mut p) = setup();
+        p.try_place(CellCoord::new(4, 4), &mask).unwrap();
+        // Shift by one cell: overlaps the old position — legal, the module
+        // does not collide with itself.
+        assert!(p.try_relocate(0, CellCoord::new(5, 4), &mask).is_ok());
+        assert_eq!(p.covered_cells().count(), 32);
+    }
+
+    #[test]
+    fn failed_relocate_leaves_placement_unchanged() {
+        let (_, mask, mut p) = setup();
+        p.try_place(CellCoord::new(0, 0), &mask).unwrap();
+        p.try_place(CellCoord::new(8, 0), &mask).unwrap();
+        let before = p.clone();
+        // Overlaps module 1.
+        assert!(p.try_relocate(0, CellCoord::new(10, 1), &mask).is_err());
+        // Out of bounds.
+        assert!(p.try_relocate(0, CellCoord::new(25, 0), &mask).is_err());
+        assert_eq!(p, before);
     }
 
     #[test]

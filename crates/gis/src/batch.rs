@@ -1,0 +1,383 @@
+//! Batched per-module mean-irradiance evaluation.
+//!
+//! The floorplanner's energy model only ever consumes the *mean* irradiance
+//! over each module's covered cells, yet the scalar
+//! [`SolarDataset::irradiance`] path recomputes the full per-cell
+//! composition (shadow bit test, normal dot product, SVF lookup) for every
+//! `(step, module, cell)` triple. This module hoists everything static out
+//! of that triple loop:
+//!
+//! - per-module **SVF sums** — the diffuse term becomes one multiply per
+//!   module per step;
+//! - per-module **shadow word masks** — the beam-shadow census becomes a
+//!   handful of masked popcounts per module per step instead of one bit
+//!   test per cell;
+//! - on planar roofs the beam incidence cosine is shared by all cells, so
+//!   the beam term collapses to `beam_poa × unshadowed / cells`.
+//!
+//! The result is [`SolarDataset::mean_irradiance_into`]: per-step
+//! per-module mean plane-of-array irradiance for a whole step range in one
+//! pass, the kernel under the energy evaluator's time-chunked integration.
+
+use crate::dataset::SolarDataset;
+use pv_geom::CellCoord;
+
+/// Precomputed per-group state for batched mean-irradiance queries.
+///
+/// A *group* is any set of cells whose mean irradiance is wanted as one
+/// number — in practice the cells covered by one PV module. Build with
+/// [`SolarDataset::batch`], query with
+/// [`SolarDataset::mean_irradiance_into`], and relocate a single group with
+/// [`set_group`](Self::set_group) (the annealer moves one module at a
+/// time).
+///
+/// ```
+/// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+/// use pv_geom::CellCoord;
+/// use pv_units::{Meters, SimulationClock};
+/// let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+/// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 120))
+///     .extract(&roof);
+/// let cells: Vec<CellCoord> = (0..4).map(|x| CellCoord::new(x, 0)).collect();
+/// let batch = data.batch(&[cells.clone()]);
+/// let mut means = vec![0.0; data.num_steps() as usize];
+/// data.mean_irradiance_into(&batch, 0..data.num_steps(), &mut means);
+/// let scalar: f64 = cells.iter().map(|&c| data.irradiance(c, 6).as_w_per_m2()).sum::<f64>() / 4.0;
+/// assert!((means[6] - scalar).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IrradianceBatch {
+    /// Per group: `(shadow word index, bits of this group in that word)`.
+    masks: Vec<Vec<(u32, u64)>>,
+    /// Per group: linear cell indices (the undulating-surface beam path).
+    cells: Vec<Vec<u32>>,
+    /// Per group: `1 / cell count`.
+    inv_count: Vec<f64>,
+    /// Per group: mean sky-view factor over the cells.
+    svf_mean: Vec<f64>,
+}
+
+impl IrradianceBatch {
+    /// Number of cell groups.
+    #[inline]
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.inv_count.len()
+    }
+
+    /// Recomputes the static state of group `g` for a new cell set — the
+    /// single-module relocation path used by simulated annealing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range, `cells` is empty or contains
+    /// duplicates, or a cell lies outside `dataset`'s grid.
+    pub fn set_group(&mut self, dataset: &SolarDataset, g: usize, cells: &[CellCoord]) {
+        assert!(g < self.num_groups(), "group index out of range");
+        let (masks, linear, inv_count, svf_mean) = group_state(dataset, cells);
+        self.masks[g] = masks;
+        self.cells[g] = linear;
+        self.inv_count[g] = inv_count;
+        self.svf_mean[g] = svf_mean;
+    }
+}
+
+/// Builds the per-group static state shared by `batch` and `set_group`.
+fn group_state(
+    dataset: &SolarDataset,
+    cells: &[CellCoord],
+) -> (Vec<(u32, u64)>, Vec<u32>, f64, f64) {
+    assert!(!cells.is_empty(), "cell group must not be empty");
+    let dims = dataset.dims();
+    let mut masks: Vec<(u32, u64)> = Vec::new();
+    let mut linear = Vec::with_capacity(cells.len());
+    let mut svf_sum = 0.0f64;
+    for &cell in cells {
+        assert!(dims.contains(cell), "cell outside grid");
+        let bit = dims.linear_index(cell);
+        linear.push(bit as u32);
+        svf_sum += dataset.sky_view_factor(cell);
+        let word = (bit / 64) as u32;
+        let mask = 1u64 << (bit % 64);
+        // Cells of one module are spatially clustered, so consecutive bits
+        // usually share a word; scan the short list rather than hashing.
+        match masks.iter_mut().find(|(w, _)| *w == word) {
+            Some((_, m)) => {
+                // A repeated cell would skew the mean: the popcount census
+                // counts it once while the cell count weighs it twice.
+                assert_eq!(*m & mask, 0, "duplicate cell in group");
+                *m |= mask;
+            }
+            None => masks.push((word, mask)),
+        }
+    }
+    let inv = 1.0 / cells.len() as f64;
+    (masks, linear, inv, svf_sum * inv)
+}
+
+impl SolarDataset {
+    /// Precomputes an [`IrradianceBatch`] over per-group cell lists
+    /// (typically the covered cells of each placed module).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group is empty, contains a duplicate cell, or
+    /// contains a cell outside the grid.
+    #[must_use]
+    pub fn batch(&self, groups: &[Vec<CellCoord>]) -> IrradianceBatch {
+        let mut batch = IrradianceBatch {
+            masks: Vec::with_capacity(groups.len()),
+            cells: Vec::with_capacity(groups.len()),
+            inv_count: Vec::with_capacity(groups.len()),
+            svf_mean: Vec::with_capacity(groups.len()),
+        };
+        for group in groups {
+            let (masks, linear, inv_count, svf_mean) = group_state(self, group);
+            batch.masks.push(masks);
+            batch.cells.push(linear);
+            batch.inv_count.push(inv_count);
+            batch.svf_mean.push(svf_mean);
+        }
+        batch
+    }
+
+    /// Writes the mean plane-of-array irradiance of every batch group for
+    /// every step in `steps` into `out`, laid out row-major
+    /// `[step - steps.start][group]`, in W/m².
+    ///
+    /// Equivalent to averaging [`irradiance`](Self::irradiance) over each
+    /// group's cells, at a fraction of the cost (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` exceeds the clock range or `out.len()` differs
+    /// from `steps.len() × batch.num_groups()`.
+    pub fn mean_irradiance_into(
+        &self,
+        batch: &IrradianceBatch,
+        steps: core::ops::Range<u32>,
+        out: &mut [f64],
+    ) {
+        assert!(steps.end <= self.num_steps(), "step range out of bounds");
+        let num_groups = batch.num_groups();
+        assert_eq!(
+            out.len(),
+            steps.len() * num_groups,
+            "output buffer must hold steps × groups means"
+        );
+
+        for (rel, i) in steps.enumerate() {
+            let row_out = &mut out[rel * num_groups..(rel + 1) * num_groups];
+            let cond = self.conditions(i);
+            if !cond.sun_up {
+                row_out.fill(0.0);
+                continue;
+            }
+            let diffuse = cond.diffuse_poa.as_w_per_m2();
+            let ground = cond.ground_poa.as_w_per_m2();
+            let beam_dni = cond.beam_normal.as_w_per_m2();
+            let s = cond.sun_direction;
+            let shadow_row = self.shadow_row_words(i);
+
+            if self.is_planar() {
+                // One incidence cosine for the whole roof: the beam term
+                // needs only the unshadowed-cell census per group.
+                let n = self.plane_normal();
+                let cos_i = (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
+                let beam_poa = beam_dni * cos_i;
+                for (g, out) in row_out.iter_mut().enumerate() {
+                    let shadowed: u32 = match shadow_row {
+                        None => 0,
+                        Some(words) => batch.masks[g]
+                            .iter()
+                            .map(|&(w, m)| (words[w as usize] & m).count_ones())
+                            .sum(),
+                    };
+                    let unshadowed = batch.cells[g].len() as f64 - f64::from(shadowed);
+                    *out = beam_poa * unshadowed * batch.inv_count[g]
+                        + diffuse * batch.svf_mean[g]
+                        + ground;
+                }
+            } else {
+                // Undulating surface: per-cell normals make the beam term
+                // cell-dependent; shadow tests still come from the packed
+                // row words.
+                for (g, out) in row_out.iter_mut().enumerate() {
+                    let mut beam_sum = 0.0f64;
+                    for &bit in &batch.cells[g] {
+                        let shadowed = match shadow_row {
+                            None => false,
+                            Some(words) => words[bit as usize / 64] & (1u64 << (bit % 64)) != 0,
+                        };
+                        if !shadowed {
+                            let n = self.cell_normal_linear(bit as usize);
+                            beam_sum += (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
+                        }
+                    }
+                    *out = beam_dni * beam_sum * batch.inv_count[g]
+                        + diffuse * batch.svf_mean[g]
+                        + ground;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsm::RoofBuilder;
+    use crate::extract::SolarExtractor;
+    use crate::obstacle::Obstacle;
+    use crate::site::Site;
+    use pv_units::{Meters, SimulationClock};
+
+    fn groups() -> Vec<Vec<CellCoord>> {
+        vec![
+            (0..8)
+                .flat_map(|x| (0..4).map(move |y| CellCoord::new(x, y)))
+                .collect(),
+            (0..8)
+                .flat_map(|x| (0..4).map(move |y| CellCoord::new(20 + x, 5 + y)))
+                .collect(),
+        ]
+    }
+
+    fn scalar_mean(data: &SolarDataset, cells: &[CellCoord], i: u32) -> f64 {
+        cells
+            .iter()
+            .map(|&c| data.irradiance(c, i).as_w_per_m2())
+            .sum::<f64>()
+            / cells.len() as f64
+    }
+
+    #[test]
+    fn matches_scalar_path_on_shaded_planar_roof() {
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(3.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(3.0),
+                Meters::new(1.0),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(3, 60))
+            .seed(5)
+            .extract(&roof);
+        let groups = groups();
+        let batch = data.batch(&groups);
+        let mut out = vec![0.0; data.num_steps() as usize * 2];
+        data.mean_irradiance_into(&batch, 0..data.num_steps(), &mut out);
+        for i in 0..data.num_steps() {
+            for (g, cells) in groups.iter().enumerate() {
+                let want = scalar_mean(&data, cells, i);
+                let got = out[i as usize * 2 + g];
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "step {i} group {g}: batched {got} vs scalar {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_scalar_path_on_undulating_roof() {
+        let roof = RoofBuilder::new(Meters::new(6.0), Meters::new(3.0))
+            .undulation(pv_units::Degrees::new(6.0), Meters::new(2.0), 9)
+            .build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 120))
+            .seed(2)
+            .extract(&roof);
+        let groups = groups();
+        let batch = data.batch(&groups);
+        let mut out = vec![0.0; data.num_steps() as usize * 2];
+        data.mean_irradiance_into(&batch, 0..data.num_steps(), &mut out);
+        for i in 0..data.num_steps() {
+            for (g, cells) in groups.iter().enumerate() {
+                let want = scalar_mean(&data, cells, i);
+                let got = out[i as usize * 2 + g];
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "step {i} group {g}: batched {got} vs scalar {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sub_range_matches_full_range() {
+        let roof = RoofBuilder::new(Meters::new(6.0), Meters::new(3.0)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 60))
+            .seed(1)
+            .extract(&roof);
+        let groups = groups();
+        let batch = data.batch(&groups);
+        let n = data.num_steps();
+        let mut full = vec![0.0; n as usize * 2];
+        data.mean_irradiance_into(&batch, 0..n, &mut full);
+        let mut part = vec![0.0; 10 * 2];
+        data.mean_irradiance_into(&batch, 12..22, &mut part);
+        assert_eq!(&full[12 * 2..22 * 2], &part[..]);
+    }
+
+    #[test]
+    fn set_group_relocates_a_module() {
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(3.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(3.0),
+                Meters::new(1.0),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 60))
+            .seed(7)
+            .extract(&roof);
+        let mut all = groups();
+        let mut batch = data.batch(&all);
+        // Move group 1 somewhere else; it must equal a fresh batch.
+        all[1] = (0..8)
+            .flat_map(|x| (0..4).map(move |y| CellCoord::new(30 + x, 8 + y)))
+            .collect();
+        batch.set_group(&data, 1, &all[1]);
+        let fresh = data.batch(&all);
+        let n = data.num_steps();
+        let mut a = vec![0.0; n as usize * 2];
+        let mut b = vec![0.0; n as usize * 2];
+        data.mean_irradiance_into(&batch, 0..n, &mut a);
+        data.mean_irradiance_into(&fresh, 0..n, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cell_in_group_rejected() {
+        let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .extract(&roof);
+        let c = CellCoord::new(1, 1);
+        let _ = data.batch(&[vec![c, c]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_group_rejected() {
+        let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .extract(&roof);
+        let _ = data.batch(&[Vec::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn wrong_output_size_rejected() {
+        let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .extract(&roof);
+        let batch = data.batch(&[vec![CellCoord::new(0, 0)]]);
+        let mut out = vec![0.0; 3];
+        data.mean_irradiance_into(&batch, 0..data.num_steps(), &mut out);
+    }
+}

@@ -188,6 +188,42 @@ impl SolarDataset {
         word & (1 << (bit % 64)) != 0
     }
 
+    /// The bit-packed shadow words of step `i`'s row, or `None` for steps
+    /// without a beam component. Internal fast path for the batched kernel.
+    #[inline]
+    pub(crate) fn shadow_row_words(&self, i: u32) -> Option<&[u64]> {
+        let row = self.beam_row_of_step[i as usize];
+        if row == u32::MAX {
+            return None;
+        }
+        let base = row as usize * self.row_words;
+        Some(&self.shadow_rows[base..base + self.row_words])
+    }
+
+    /// Whether every cell shares the base roof normal.
+    #[inline]
+    pub(crate) const fn is_planar(&self) -> bool {
+        self.cell_normals.is_none()
+    }
+
+    /// World-frame unit normal of the base roof plane.
+    #[inline]
+    pub(crate) const fn plane_normal(&self) -> [f64; 3] {
+        self.base_normal
+    }
+
+    /// [`cell_normal`](Self::cell_normal) by linear cell index.
+    #[inline]
+    pub(crate) fn cell_normal_linear(&self, index: usize) -> [f64; 3] {
+        match &self.cell_normals {
+            None => self.base_normal,
+            Some(normals) => {
+                let n = normals[index];
+                [f64::from(n[0]), f64::from(n[1]), f64::from(n[2])]
+            }
+        }
+    }
+
     /// World-frame unit normal of `cell`'s surface patch.
     ///
     /// # Panics
@@ -437,6 +473,120 @@ mod tests {
             [0.0, 0.0, 1.0],
             None,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "steps length")]
+    fn wrong_steps_length_rejected() {
+        let clock = SimulationClock::days_at_minutes(1, 720); // 2 steps
+        let dims = GridDims::new(2, 2);
+        let _ = SolarDataset::from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 3], // wrong
+            vec![1.0; 4],
+            vec![u32::MAX; 2],
+            vec![],
+            [0.0, 0.0, 1.0],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row map length")]
+    fn wrong_beam_row_map_length_rejected() {
+        let clock = SimulationClock::days_at_minutes(1, 720);
+        let dims = GridDims::new(2, 2);
+        let _ = SolarDataset::from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 4],
+            vec![u32::MAX; 5], // wrong
+            vec![],
+            [0.0, 0.0, 1.0],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow rows")]
+    fn ragged_shadow_rows_rejected() {
+        // 70 cells -> 2 words per row; 3 words is not a whole row count.
+        let clock = SimulationClock::days_at_minutes(1, 720);
+        let dims = GridDims::new(10, 7);
+        let _ = SolarDataset::from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 70],
+            vec![0, u32::MAX],
+            vec![0u64; 3], // wrong: not a multiple of row_words = 2
+            [0.0, 0.0, 1.0],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid mask dims")]
+    fn wrong_valid_mask_dims_rejected() {
+        let clock = SimulationClock::days_at_minutes(1, 720);
+        let dims = GridDims::new(2, 2);
+        let _ = SolarDataset::from_parts(
+            clock,
+            dims,
+            CellMask::full(GridDims::new(3, 2)), // wrong
+            vec![StepConditions::default(); 2],
+            vec![1.0; 4],
+            vec![u32::MAX; 2],
+            vec![],
+            [0.0, 0.0, 1.0],
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell normals length")]
+    fn wrong_cell_normals_length_rejected() {
+        let clock = SimulationClock::days_at_minutes(1, 720);
+        let dims = GridDims::new(2, 2);
+        let _ = SolarDataset::from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 4],
+            vec![u32::MAX; 2],
+            vec![],
+            [0.0, 0.0, 1.0],
+            Some(vec![[0.0, 0.0, 1.0]; 3]), // wrong
+        );
+    }
+
+    #[test]
+    fn cell_view_is_consistent_with_scalar_queries() {
+        let d = tiny();
+        for cell in [
+            CellCoord::new(0, 0),
+            CellCoord::new(1, 0),
+            CellCoord::new(1, 1),
+        ] {
+            let streamed: Vec<_> = d.cell_view(cell).collect();
+            assert_eq!(streamed.len(), d.num_steps() as usize);
+            for (i, &(g, t)) in streamed.iter().enumerate() {
+                assert_eq!(g, d.irradiance(cell, i as u32), "cell {cell:?} step {i}");
+                assert_eq!(t, d.temperature(cell, i as u32), "cell {cell:?} step {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell outside grid")]
+    fn cell_view_rejects_out_of_grid_cell() {
+        let _ = tiny().cell_view(CellCoord::new(2, 0));
     }
 
     #[test]

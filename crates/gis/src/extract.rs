@@ -9,7 +9,14 @@ use crate::site::Site;
 use crate::sunpos::{solar_position, LocalSun};
 use crate::transposition::transpose;
 use crate::weather::WeatherGenerator;
+use pv_runtime::Runtime;
 use pv_units::SimulationClock;
+
+/// Beam-step rows per parallel work unit of the shadow-casting loop.
+///
+/// Fixed (never derived from the thread count) so the shadow table is
+/// assembled from identical segments on any [`Runtime`] configuration.
+const SHADOW_CHUNK_ROWS: usize = 16;
 
 /// Builder/driver for turning a [`Dsm`] into a [`SolarDataset`].
 ///
@@ -31,10 +38,16 @@ pub struct SolarExtractor {
     seed: u64,
     num_sectors: usize,
     weather: Option<WeatherGenerator>,
+    runtime: Runtime,
 }
 
 impl SolarExtractor {
     /// Creates an extractor for a site and simulation period.
+    ///
+    /// The shadow-casting stage runs on [`Runtime::from_env`] workers
+    /// (`PV_THREADS` or the machine's parallelism); override with
+    /// [`runtime`](Self::runtime). Results are bit-identical for every
+    /// thread count.
     #[must_use]
     pub fn new(site: Site, clock: SimulationClock) -> Self {
         Self {
@@ -43,7 +56,15 @@ impl SolarExtractor {
             seed: 0,
             num_sectors: 64,
             weather: None,
+            runtime: Runtime::from_env(),
         }
+    }
+
+    /// Sets the parallel runtime used by the shadow-casting stage.
+    #[must_use]
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// Sets the weather seed (default 0).
@@ -146,21 +167,33 @@ impl SolarExtractor {
             });
         }
 
-        // Shadow table: one bit-packed row per beam step.
+        // Shadow table: one bit-packed row per beam step. This is the
+        // extraction hot loop (beam steps × cells horizon tests); rows are
+        // independent, so chunks of rows are cast in parallel and
+        // concatenated in fixed chunk order — bit-identical to the
+        // sequential scan for any thread count.
         let row_words = dims.num_cells().div_ceil(64);
-        let mut shadow_rows = vec![0u64; beam_steps.len() * row_words];
         let flat_roof = dsm.heights().iter().all(|&h| h <= 0.0);
-        if !flat_roof {
-            for (row, (_, local)) in beam_steps.iter().enumerate() {
-                let base = row * row_words;
-                for cell in dims.iter() {
-                    if horizon.is_shadowed(cell, local.elevation, local.plane_angle) {
-                        let bit = dims.linear_index(cell);
-                        shadow_rows[base + bit / 64] |= 1 << (bit % 64);
+        let shadow_rows = if flat_roof {
+            vec![0u64; beam_steps.len() * row_words]
+        } else {
+            self.runtime
+                .map_chunks(beam_steps.len(), SHADOW_CHUNK_ROWS, |rows| {
+                    let mut segment = vec![0u64; rows.len() * row_words];
+                    for (local_row, row) in rows.enumerate() {
+                        let (_, sun) = &beam_steps[row];
+                        let base = local_row * row_words;
+                        for cell in dims.iter() {
+                            if horizon.is_shadowed(cell, sun.elevation, sun.plane_angle) {
+                                let bit = dims.linear_index(cell);
+                                segment[base + bit / 64] |= 1 << (bit % 64);
+                            }
+                        }
                     }
-                }
-            }
-        }
+                    segment
+                })
+                .concat()
+        };
 
         let svf: Vec<f32> = dims
             .iter()
@@ -272,6 +305,35 @@ mod tests {
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         assert!(mean_at(12) > mean_at(7));
+    }
+
+    #[test]
+    fn extraction_is_thread_count_invariant() {
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(5.0),
+                Meters::new(1.6),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build();
+        let base = SolarExtractor::new(Site::turin(), small_clock()).seed(9);
+        let seq = base.clone().runtime(Runtime::sequential()).extract(&roof);
+        for threads in [2usize, 5] {
+            let par = base
+                .clone()
+                .runtime(Runtime::with_threads(threads))
+                .extract(&roof);
+            for cell in seq.dims().iter() {
+                assert_eq!(
+                    seq.insolation(cell).to_bits(),
+                    par.insolation(cell).to_bits(),
+                    "cell {cell:?} with {threads} threads"
+                );
+                assert_eq!(seq.shadow_fraction(cell), par.shadow_fraction(cell));
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod clearsky;
 mod dataset;
 pub mod decomposition;
@@ -63,6 +64,7 @@ mod sunpos;
 pub mod transposition;
 mod weather;
 
+pub use batch::IrradianceBatch;
 pub use clearsky::ClearSky;
 pub use dataset::{CellWeatherView, SolarDataset, StepConditions};
 pub use dsm::{Dsm, RoofBuilder, RoofGeometry};

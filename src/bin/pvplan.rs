@@ -7,8 +7,12 @@
 //! ```text
 //! pvplan --width 12 --depth 5 --tilt 26 --azimuth 195 \
 //!        --series 4 --strings 2 [--days 365] [--step 60] [--seed 42]
-//!        [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
+//!        [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
 //! ```
+//!
+//! `--threads N` (or the `PV_THREADS` environment variable) sets the
+//! worker count for solar extraction and energy evaluation; the default is
+//! the machine's parallelism. Results are identical for every setting.
 
 use pvfloorplan::floorplan::{greedy_placement_with_map, render, traditional_placement_with_map};
 use pvfloorplan::prelude::*;
@@ -23,6 +27,7 @@ struct Args {
     days: u32,
     step: u32,
     seed: u64,
+    threads: Option<usize>,
     portrait: bool,
     chimneys: Vec<(f64, f64, f64)>,
     hvacs: Vec<(f64, f64, f64)>,
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         days: 365,
         step: 60,
         seed: 42,
+        threads: None,
         portrait: false,
         chimneys: Vec::new(),
         hvacs: Vec::new(),
@@ -62,6 +68,17 @@ fn parse_args() -> Result<Args, String> {
             "--days" => args.days = value("--days")?.parse().map_err(|e| format!("{e}"))?,
             "--step" => args.step = value("--step")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                let spec = value("--threads")?;
+                match pvfloorplan::runtime::parse_threads(&spec) {
+                    Some(n) => args.threads = Some(n),
+                    None => {
+                        return Err(format!(
+                            "--threads expects a positive integer, got '{spec}'"
+                        ))
+                    }
+                }
+            }
             "--portrait" => args.portrait = true,
             "--chimney" | "--hvac" => {
                 let spec = value(&flag)?;
@@ -83,7 +100,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "pvplan --width M --depth M [--tilt DEG] [--azimuth DEG] \
                      [--series N] [--strings N] [--days D] [--step MIN] [--seed S] \
-                     [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]..."
+                     [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]..."
                 );
                 std::process::exit(0);
             }
@@ -138,17 +155,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let roof = builder.build();
 
+    let runtime = args
+        .threads
+        .map_or_else(Runtime::from_env, Runtime::with_threads);
     let clock = SimulationClock::days_at_minutes(args.days, args.step);
     eprintln!(
-        "extracting solar data: {} x {} m roof, {} cells ({} valid), {} steps...",
+        "extracting solar data: {} x {} m roof, {} cells ({} valid), {} steps, {} thread(s)...",
         args.width,
         args.depth,
         roof.dims().num_cells(),
         roof.valid().count(),
-        clock.num_steps()
+        clock.num_steps(),
+        runtime.threads()
     );
     let data = SolarExtractor::new(Site::turin(), clock)
         .seed(args.seed)
+        .runtime(runtime)
         .extract(&roof);
 
     let mut config = FloorplanConfig::paper(Topology::new(args.series, args.strings)?)?;
@@ -156,7 +178,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config = config.with_portrait_modules();
     }
     let map = SuitabilityMap::compute(&data, &config);
-    let evaluator = EnergyEvaluator::new(&config);
+    let evaluator = EnergyEvaluator::new(&config).with_runtime(runtime);
 
     println!("suitability (bright = better, x = unusable):");
     println!("{}", render::ascii_heatmap(map.scores(), 90));

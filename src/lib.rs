@@ -57,6 +57,11 @@ pub mod units {
     pub use pv_units::*;
 }
 
+/// Deterministic parallel execution ([`pv_runtime`]).
+pub mod runtime {
+    pub use pv_runtime::*;
+}
+
 /// Grid geometry substrate ([`pv_geom`]).
 pub mod geom {
     pub use pv_geom::*;
@@ -91,6 +96,7 @@ pub mod prelude {
     pub use pv_model::{
         panel_output, EmpiricalModule, ModuleModel, SingleDiodeModule, Topology, WiringSpec,
     };
+    pub use pv_runtime::Runtime;
     pub use pv_units::{
         Amperes, Celsius, Degrees, Irradiance, Meters, SimulationClock, Volts, WattHours, Watts,
     };

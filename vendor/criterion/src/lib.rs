@@ -8,6 +8,11 @@
 //! machinery it runs a fixed number of timed iterations per benchmark and
 //! prints the mean wall-clock time — enough to observe scaling shape and
 //! to keep `cargo bench` compiling and runnable offline.
+//!
+//! Like the real crate, a `--test` argument (as passed by
+//! `cargo bench -- --test`) switches to smoke mode: every benchmark body
+//! runs exactly once, overriding all `sample_size` configuration — what CI
+//! uses to keep bench bodies green without paying for measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,14 +53,18 @@ impl BenchmarkId {
 /// Per-iteration timing driver handed to benchmark closures.
 pub struct Bencher {
     iters: u64,
+    warmup: bool,
     total: Duration,
 }
 
 impl Bencher {
     /// Time `routine`, calling it once per measured iteration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // One warm-up call, then the measured iterations.
-        black_box(routine());
+        // One warm-up call (skipped in `--test` mode), then the measured
+        // iterations.
+        if self.warmup {
+            black_box(routine());
+        }
         let start = Instant::now();
         for _ in 0..self.iters {
             black_box(routine());
@@ -67,16 +76,21 @@ impl Bencher {
 /// Top-level benchmark driver, configured once per `criterion_group!`.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
 impl Criterion {
-    /// Set the number of measured iterations per benchmark.
+    /// Set the number of measured iterations per benchmark (ignored in
+    /// `--test` mode, which pins one iteration).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
@@ -88,6 +102,7 @@ impl Criterion {
         println!("group: {name}");
         BenchmarkGroup {
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -96,11 +111,13 @@ impl Criterion {
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Override the number of measured iterations for this group.
+    /// Override the number of measured iterations for this group (ignored
+    /// in `--test` mode, which pins one iteration).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
@@ -113,12 +130,21 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let mut b = Bencher {
-            iters: self.sample_size as u64,
+            iters: if self.test_mode {
+                1
+            } else {
+                self.sample_size as u64
+            },
+            warmup: !self.test_mode,
             total: Duration::ZERO,
         };
         f(&mut b, input);
         let mean = b.total.as_secs_f64() / (b.iters as f64).max(1.0);
-        println!("  {:<24} {:>12.3} ms/iter", id.label, mean * 1e3);
+        if self.test_mode {
+            println!("  {:<24} ok (test mode, 1 iteration)", id.label);
+        } else {
+            println!("  {:<24} {:>12.3} ms/iter", id.label, mean * 1e3);
+        }
         self
     }
 
