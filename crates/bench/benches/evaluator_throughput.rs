@@ -1,25 +1,39 @@
-//! Benchmark of the energy evaluator's batched/parallel refactor — the
-//! Sec. V-D runtime story at evaluation granularity.
+//! Benchmark of the energy evaluator's batched/parallel/incremental
+//! refactors — the Sec. V-D runtime story at evaluation granularity.
 //!
-//! Three rungs on the paper's Roof 2 at the 30-day smoke resolution,
-//! N = 32 (the heaviest published topology):
+//! Rungs on the paper's Roof 2 at the 30-day smoke resolution, N = 32
+//! (the heaviest published topology):
 //!
 //! 1. `scalar_reference` — the pre-batching triple loop
 //!    (steps × modules × cells scalar irradiance composition);
 //! 2. `batched_seq` — the batched popcount/SVF-sum kernel on one thread;
 //! 3. `batched_4thr` — the same kernel over 4-way time-chunk parallelism
 //!    (speedup bounded by the machine's core count; identical results
-//!    regardless).
+//!    regardless);
+//! 4. `proposal_cold` / `proposal_incremental` — an anneal-style proposal
+//!    loop (relocate one module + full re-score) on the cold path vs the
+//!    trace-cached delta-evaluation path (memo warm); bit-identical
+//!    reports, measured single-threaded.
 //!
 //! Also times extraction (sequential vs 4 threads) for the same reason.
 //! Pass `--test` to run each body once (CI keeps the bench green without
 //! paying for measurements).
 //!
+//! On top of the printed numbers, the proposal loop is measured with the
+//! shared [`pv_bench::proposal_loop_timings`] probe and written to
+//! `BENCH_evaluator.json` at the repo root, so the perf trajectory is
+//! machine-readable across PRs (CI checks the file's schema).
+//!
 //! Run: `cargo bench -p pv_bench --bench evaluator_throughput`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pv_bench::{extract_scenario_with, scalar_reference_energy, Resolution, WEATHER_SEED};
-use pv_floorplan::{greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
+use pv_bench::{
+    extract_scenario_with, proposal_loop_timings, proposal_probe_scale, relocation_probe,
+    scalar_reference_energy, write_bench_records, Resolution, WEATHER_SEED,
+};
+use pv_floorplan::{
+    greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap, TraceMemo,
+};
 use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
 use pv_model::Topology;
 use pv_runtime::Runtime;
@@ -85,7 +99,77 @@ fn bench_evaluator(c: &mut Criterion) {
             });
         },
     );
+
+    // Anneal-style proposal loop: move one module, re-score. The probe
+    // anchors are fixed up front so every relocation succeeds.
+    let evaluator = EnergyEvaluator::new(&config).with_runtime(Runtime::sequential());
+    let probe = relocation_probe(&dataset, &config, &map, &plan, 32);
+    // Both rungs warm the per-anchor memo over the probe cycle first, so
+    // the relocation inside the cold rung costs a block copy and the rung
+    // isolates the pre-caching re-scoring cost (same setup as the shared
+    // `proposal_loop_timings` probe below).
+    let memo = TraceMemo::new();
+    let warm_context = || {
+        let mut ctx = evaluator
+            .context_with_memo(&dataset, &plan, &memo)
+            .expect("sized");
+        for &anchor in &probe {
+            ctx.try_move(0, anchor).expect("probed");
+            ctx.commit_move();
+        }
+        ctx
+    };
+    group.bench_with_input(
+        BenchmarkId::from_parameter("proposal_cold"),
+        &probe,
+        |b, probe| {
+            let mut ctx = warm_context();
+            let mut e = 0usize;
+            b.iter(|| {
+                ctx.relocate(0, probe[e % probe.len()]).expect("probed");
+                e += 1;
+                ctx.evaluate_cold()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("proposal_incremental"),
+        &probe,
+        |b, probe| {
+            let mut ctx = warm_context();
+            let mut e = 0usize;
+            b.iter(|| {
+                ctx.try_move(0, probe[e % probe.len()]).expect("probed");
+                e += 1;
+                let report = ctx.evaluate();
+                ctx.commit_move();
+                report
+            });
+        },
+    );
     group.finish();
+
+    // Machine-readable artifact for the CI schema check and the
+    // EXPERIMENTS.md perf trajectory (one timed pass even in `--test`
+    // mode, so the smoke run still refreshes the file).
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let timings = proposal_loop_timings(
+        &dataset,
+        &config,
+        &map,
+        &plan,
+        if test_mode { 2 } else { 200 },
+    );
+    let path = write_bench_records(
+        "evaluator_throughput",
+        &timings.to_records(&proposal_probe_scale()),
+    )
+    .expect("write BENCH_evaluator.json");
+    println!(
+        "wrote {} (incremental speedup {:.2}x)",
+        path.display(),
+        timings.speedup()
+    );
 }
 
 fn bench_extractor(c: &mut Criterion) {

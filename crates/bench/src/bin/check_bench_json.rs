@@ -1,0 +1,107 @@
+//! CI guard for the machine-readable bench artifact.
+//!
+//! Validates that `BENCH_evaluator.json` (written by the
+//! `evaluator_throughput` bench and `diag --timings`) exists at the repo
+//! root and matches the schema the perf-trajectory tooling expects: a
+//! non-empty JSON array of objects, each with string `bench`/`scale`/`name`
+//! fields and finite, non-negative `ns_per_eval`/`speedup_vs_cold`
+//! numbers. Exits non-zero with a diagnostic otherwise — keeping the
+//! artifact honest and fully offline.
+//!
+//! Usage: `cargo run -p pv_bench --bin check_bench_json [path]`
+
+use pv_bench::json::{parse, JsonValue};
+
+fn validate(doc: &str) -> Result<usize, String> {
+    let value = parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    let items = value.as_array().ok_or("top-level value must be an array")?;
+    if items.is_empty() {
+        return Err("array must contain at least one record".into());
+    }
+    for (i, item) in items.iter().enumerate() {
+        if !matches!(item, JsonValue::Object(_)) {
+            return Err(format!("record {i} is not an object"));
+        }
+        for key in ["bench", "scale", "name"] {
+            item.get(key)
+                .and_then(JsonValue::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or(format!("record {i}: missing or empty string field {key:?}"))?;
+        }
+        for key in ["ns_per_eval", "speedup_vs_cold"] {
+            let x = item
+                .get(key)
+                .and_then(JsonValue::as_number)
+                .ok_or(format!("record {i}: missing numeric field {key:?}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("record {i}: {key} = {x} is not a sane measurement"));
+            }
+        }
+    }
+    Ok(items.len())
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map_or_else(pv_bench::bench_json_path, std::path::PathBuf::from);
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!(
+                "Error: cannot read {} ({e}); run the evaluator_throughput \
+                 bench or diag --timings first",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    match validate(&doc) {
+        Ok(n) => println!("{}: {n} record(s), schema ok", path.display()),
+        Err(e) => {
+            eprintln!("Error: {} is malformed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    const GOOD: &str = r#"[{"bench": "b", "scale": "s", "name": "n",
+        "ns_per_eval": 12.5, "speedup_vs_cold": 1.0}]"#;
+
+    #[test]
+    fn accepts_the_writer_schema() {
+        assert_eq!(validate(GOOD), Ok(1));
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        for (doc, why) in [
+            ("{}", "not an array"),
+            ("[]", "empty"),
+            ("[1]", "non-object record"),
+            (
+                r#"[{"bench": "b", "scale": "s", "ns_per_eval": 1, "speedup_vs_cold": 1}]"#,
+                "missing name",
+            ),
+            (
+                r#"[{"bench": "b", "scale": "s", "name": "", "ns_per_eval": 1, "speedup_vs_cold": 1}]"#,
+                "empty name",
+            ),
+            (
+                r#"[{"bench": "b", "scale": "s", "name": "n", "ns_per_eval": "fast", "speedup_vs_cold": 1}]"#,
+                "string number",
+            ),
+            (
+                r#"[{"bench": "b", "scale": "s", "name": "n", "ns_per_eval": -1, "speedup_vs_cold": 1}]"#,
+                "negative",
+            ),
+            ("not json", "garbage"),
+        ] {
+            assert!(validate(doc).is_err(), "accepted {why}: {doc}");
+        }
+    }
+}

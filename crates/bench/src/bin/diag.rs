@@ -6,9 +6,15 @@
 //! `--fast`/`--smoke` select the diagnostics resolution (default: fast,
 //! one year at hourly steps); the `--timings` probe is always pinned to
 //! the 30-day smoke configuration so its numbers stay comparable across
-//! runs (the EXPERIMENTS.md row is keyed to that scale).
+//! runs (the EXPERIMENTS.md row is keyed to that scale). `--timings` also
+//! rewrites the machine-readable `BENCH_evaluator.json` at the repo root
+//! with the proposal-loop numbers (same schema as the
+//! `evaluator_throughput` bench).
 
-use pv_bench::{extract_scenario_with, runtime_from_args, scalar_reference_energy, Resolution};
+use pv_bench::{
+    extract_scenario_with, proposal_loop_timings, runtime_from_args, scalar_reference_energy,
+    write_bench_records, Resolution,
+};
 use pv_floorplan::*;
 use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
 use pv_model::Topology;
@@ -142,4 +148,25 @@ fn timings(runtime: Runtime) {
         runtime.threads(),
         t_scalar / t_batched_par
     );
+
+    // Anneal-style proposal loop (single relocate + re-score),
+    // single-threaded: cold full re-integration vs incremental delta
+    // evaluation over the trace caches.
+    let proposals = proposal_loop_timings(&dataset, &config, &map, &plan, 200);
+    println!(
+        "proposal   cold re-score     {:9.2} ms  (relocate + full integration)",
+        proposals.cold_ns_per_eval / 1e6
+    );
+    println!(
+        "proposal   incremental       {:9.2} ms  ({:.2}x vs cold)",
+        proposals.incremental_ns_per_eval / 1e6,
+        proposals.speedup()
+    );
+
+    let path = write_bench_records(
+        "diag --timings",
+        &proposals.to_records(&pv_bench::proposal_probe_scale()),
+    )
+    .expect("write BENCH_evaluator.json");
+    println!("wrote {}", path.display());
 }

@@ -8,7 +8,7 @@
 
 use crate::config::FloorplanConfig;
 use crate::error::FloorplanError;
-use crate::evaluate::EnergyEvaluator;
+use crate::evaluate::{EnergyEvaluator, TraceMemo};
 use crate::greedy::FloorplanResult;
 use crate::suitability::SuitabilityMap;
 use pv_geom::{CellCoord, Placement};
@@ -119,10 +119,14 @@ pub fn anneal_with_runtime(
     }
 
     // One context for the whole chain: each proposal relocates a single
-    // module in place (refreshing only that module's batch group and its
-    // string's wiring) instead of rebuilding placement, module-cell lists
-    // and wiring from scratch per candidate.
-    let mut ctx = evaluator.context(dataset, initial)?;
+    // module in place via the try/commit/rollback API, refreshing only
+    // that module's trace and its string's aggregates/wiring, and each
+    // re-score folds cached per-step data instead of re-integrating all N
+    // modules. Rejected proposals roll back from the undo buffer (no
+    // second irradiance recompute) and the per-anchor memo turns revisited
+    // proposal anchors into lookups.
+    let memo = TraceMemo::new();
+    let mut ctx = evaluator.context_with_memo(dataset, initial, &memo)?;
     let mut current_energy = ctx.evaluate().energy;
     let mut best_anchors = ctx.anchors();
     let mut best_energy = current_energy;
@@ -132,19 +136,19 @@ pub fn anneal_with_runtime(
         let victim = rng.gen_range(0..initial.placement.len());
         let proposal_anchor = anchors[rng.gen_range(0..anchors.len())];
 
-        if let Ok(old_anchor) = ctx.relocate(victim, proposal_anchor) {
+        if ctx.try_move(victim, proposal_anchor).is_ok() {
             let energy = ctx.evaluate().energy;
             let delta = energy.as_wh() - current_energy.as_wh();
             let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature.max(1e-12)).exp();
             if accept {
+                ctx.commit_move();
                 current_energy = energy;
                 if energy.as_wh() > best_energy.as_wh() {
                     best_energy = energy;
                     best_anchors = ctx.anchors();
                 }
             } else {
-                ctx.relocate(victim, old_anchor)
-                    .expect("undoing a move to the prior anchor is always feasible");
+                ctx.rollback_move();
             }
         }
         temperature *= params.cooling;

@@ -5,32 +5,60 @@
 //! the series/parallel bottleneck equations, subtracts the wiring RI² loss
 //! of each string's extra cable, and integrates over the simulation period.
 //!
-//! The implementation is split in two:
+//! # Incremental delta evaluation
 //!
-//! - [`EvaluationContext`] holds all static per-plan state — covered cells
-//!   per module as a batched irradiance kernel
-//!   ([`pv_gis::IrradianceBatch`]), string membership, string wiring
-//!   overheads — built once and reused across repeated evaluations (the
-//!   annealer and the exhaustive search evaluate hundreds of candidates);
-//! - the integration loop runs over fixed-size time chunks on a
-//!   [`Runtime`], folding partial sums in chunk order so the report is
-//!   **bit-identical for every thread count** (the workspace determinism
-//!   guarantee, see DESIGN.md).
+//! Search loops (annealing, exhaustive enumeration) evaluate hundreds of
+//! placements that differ from the previous one by a *single module*.
+//! [`EvaluationContext`] therefore caches everything a re-score needs:
+//!
+//! - **per-module traces** — each module's per-step mean irradiance and
+//!   operating point, in module-major SoA blocks, built in parallel at
+//!   construction ([`Runtime::for_each_chunk_mut`]) via the single-group
+//!   kernel [`pv_gis::SolarDataset::mean_irradiance_group_into`];
+//! - **per-string aggregates** — each string's per-step series voltage sum
+//!   and bottleneck current, so a move touches only the affected string;
+//! - the **undo buffer** of a try/commit/rollback move API
+//!   ([`try_move`](EvaluationContext::try_move) /
+//!   [`commit_move`](EvaluationContext::commit_move) /
+//!   [`rollback_move`](EvaluationContext::rollback_move)): a rejected
+//!   proposal swaps the old trace back without a second irradiance
+//!   recompute;
+//! - an optional **per-anchor [`TraceMemo`]** shared across contexts, so a
+//!   revisited anchor costs a lookup instead of a kernel pass.
+//!
+//! [`evaluate`](EvaluationContext::evaluate) then only folds the cached
+//! per-step data. Crucially it performs *the same floating-point
+//! operations in the same order* as the from-scratch reference
+//! [`evaluate_cold`](EvaluationContext::evaluate_cold) (same per-step
+//! string folds, same fixed [`STEP_CHUNK`] windows, partial sums merged in
+//! chunk order), so incremental reports are **bit-identical** to a cold
+//! evaluation — on any thread count (the workspace determinism guarantee,
+//! see DESIGN.md).
 
 use crate::config::FloorplanConfig;
 use crate::error::FloorplanError;
 use crate::greedy::FloorplanResult;
 use pv_geom::{CellCoord, Placement};
-use pv_gis::{IrradianceBatch, SolarDataset};
-use pv_model::{string_wiring_overhead, ModuleModel, OperatingPoint};
+use pv_gis::{IrradianceBatch, IrradianceGroup, SolarDataset};
+use pv_model::{string_wiring_overhead, EmpiricalModule, ModuleModel, OperatingPoint};
 use pv_runtime::Runtime;
 use pv_units::{Amperes, Irradiance, Meters, Volts, WattHours, Watts};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Time steps per parallel work unit of the integration loop.
 ///
 /// Fixed (never derived from the thread count) so partial energy sums are
 /// always folded over identical step windows.
 const STEP_CHUNK: usize = 256;
+
+/// Per-module trace block layout: `[mean G | V | I]`, each of length
+/// `num_steps` — one contiguous module-major block per module.
+const TRACE_FIELDS: usize = 3;
+
+/// Per-string aggregate block layout: `[Σ V | min I]`, each of length
+/// `num_steps`.
+const AGG_FIELDS: usize = 2;
 
 /// Evaluation result for one placement over the simulation period.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,6 +102,91 @@ impl EnergyReport {
         } else {
             self.wiring_loss.as_wh() / e
         }
+    }
+}
+
+/// Shared memo of per-anchor module traces.
+///
+/// A module's trace (per-step mean irradiance and operating point) is a
+/// pure function of its anchor for a fixed dataset, footprint and module
+/// model, so search loops that revisit anchors — the annealer proposing a
+/// previously seen position, the exhaustive search re-entering an anchor in
+/// a different combination — can reuse it. Create one memo per
+/// (dataset, config) pair and pass it to
+/// [`EnergyEvaluator::context_with_memo`]; it is thread-safe, so parallel
+/// subtree searches share one memo.
+///
+/// Memoized traces are byte copies of kernel output, so memo hits are
+/// bit-identical to recomputation. Memory is bounded by a byte budget
+/// ([`TraceMemo::DEFAULT_BYTE_BUDGET`] unless overridden with
+/// [`with_byte_budget`](Self::with_byte_budget)): once the budget is
+/// reached, further anchors are simply recomputed instead of cached —
+/// results are unaffected (a trace is the same bytes either way), only
+/// the hit rate degrades.
+#[derive(Debug)]
+pub struct TraceMemo {
+    anchors: Mutex<BTreeMap<CellCoord, Arc<[f64]>>>,
+    byte_budget: usize,
+}
+
+impl Default for TraceMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceMemo {
+    /// Default cache budget: 256 MiB of trace data (e.g. ~300 anchors at
+    /// the paper's 35,040-step clock, or every anchor of any smoke-scale
+    /// roof).
+    pub const DEFAULT_BYTE_BUDGET: usize = 256 << 20;
+
+    /// An empty memo with the default byte budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_byte_budget(Self::DEFAULT_BYTE_BUDGET)
+    }
+
+    /// An empty memo that stops admitting new anchors once its stored
+    /// traces exceed `bytes`.
+    #[must_use]
+    pub fn with_byte_budget(bytes: usize) -> Self {
+        Self {
+            anchors: Mutex::new(BTreeMap::new()),
+            byte_budget: bytes,
+        }
+    }
+
+    /// Number of memoized anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memo's lock was poisoned by a panicking user.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.anchors.lock().expect("memo lock poisoned").len()
+    }
+
+    /// Whether the memo holds no anchors yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, anchor: CellCoord) -> Option<Arc<[f64]>> {
+        self.anchors
+            .lock()
+            .expect("memo lock poisoned")
+            .get(&anchor)
+            .cloned()
+    }
+
+    fn insert(&self, anchor: CellCoord, trace: &[f64]) {
+        let mut anchors = self.anchors.lock().expect("memo lock poisoned");
+        if (anchors.len() + 1).saturating_mul(std::mem::size_of_val(trace)) > self.byte_budget {
+            return; // budget reached: recompute instead of caching
+        }
+        anchors.entry(anchor).or_insert_with(|| trace.into());
     }
 }
 
@@ -129,7 +242,31 @@ impl<'a> EnergyEvaluator<'a> {
     where
         'a: 'd,
     {
-        EvaluationContext::new(dataset, self.config, self.runtime, plan)
+        EvaluationContext::new(dataset, self.config, self.runtime, plan, None)
+    }
+
+    /// [`context`](Self::context) with a shared per-anchor [`TraceMemo`]:
+    /// module traces for anchors already in the memo are copied instead of
+    /// recomputed, and freshly computed traces are published to it.
+    ///
+    /// The memo must only be shared between contexts built from the *same*
+    /// dataset and configuration (a trace is a pure function of the anchor
+    /// only under that pairing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::PlacementSizeMismatch`] when the plan's
+    /// module count differs from the configured topology.
+    pub fn context_with_memo<'d>(
+        &self,
+        dataset: &'d SolarDataset,
+        plan: &FloorplanResult,
+        memo: &'d TraceMemo,
+    ) -> Result<EvaluationContext<'d>, FloorplanError>
+    where
+        'a: 'd,
+    {
+        EvaluationContext::new(dataset, self.config, self.runtime, plan, Some(memo))
     }
 
     /// Integrates the yearly energy of `plan` over `dataset`.
@@ -147,12 +284,29 @@ impl<'a> EnergyEvaluator<'a> {
     }
 }
 
-/// Static per-plan evaluation state, built once and evaluated many times.
+/// The undo record of a pending [`try_move`](EvaluationContext::try_move):
+/// everything needed to restore the pre-move state without recomputation
+/// (the bulk trace/aggregate bytes live in the context's persistent
+/// scratch buffers).
+#[derive(Clone, Debug)]
+struct PendingMove {
+    module: usize,
+    old_anchor: CellCoord,
+    old_group: IrradianceGroup,
+    old_extra: Meters,
+}
+
+/// Cached per-plan evaluation state, built once and re-scored many times.
 ///
 /// Owns a copy of the plan's [`Placement`] so search loops can mutate it
-/// in place: [`relocate`](Self::relocate) moves one module and refreshes
-/// exactly the state that depends on it (its batch group and its string's
-/// wiring overhead), which is what simulated annealing needs per proposal.
+/// in place. Single-module moves go through the try/commit/rollback API:
+/// [`try_move`](Self::try_move) refreshes exactly the state that depends
+/// on the moved module (its irradiance group, trace block, and its
+/// string's aggregates and wiring overhead — `O(1 module)`, not
+/// `O(N modules)`), and [`rollback_move`](Self::rollback_move) restores
+/// the previous state from the undo buffer without touching the kernel.
+/// [`evaluate`](Self::evaluate) re-scores from the caches and is
+/// bit-identical to the from-scratch [`evaluate_cold`](Self::evaluate_cold).
 #[derive(Clone, Debug)]
 pub struct EvaluationContext<'d> {
     dataset: &'d SolarDataset,
@@ -165,6 +319,20 @@ pub struct EvaluationContext<'d> {
     string_of: Vec<usize>,
     batch: IrradianceBatch,
     string_extra: Vec<Meters>,
+    /// Module-major trace cache: module `k` owns the contiguous block
+    /// `[k·3S, (k+1)·3S)` holding its mean-irradiance, voltage and current
+    /// traces (`S` steps each; zeros while the sun is down).
+    trace: Vec<f64>,
+    /// String-major aggregate cache: string `j` owns `[j·2S, (j+1)·2S)`
+    /// holding its per-step series voltage sum and bottleneck current.
+    agg: Vec<f64>,
+    memo: Option<&'d TraceMemo>,
+    /// Undo metadata of the pending proposal, if any.
+    pending: Option<PendingMove>,
+    /// Persistent undo scratch: the displaced trace block (3S values).
+    undo_trace: Vec<f64>,
+    /// Persistent undo scratch: the displaced aggregate block (2S values).
+    undo_agg: Vec<f64>,
 }
 
 impl<'d> EvaluationContext<'d> {
@@ -173,6 +341,7 @@ impl<'d> EvaluationContext<'d> {
         config: &'d FloorplanConfig,
         runtime: Runtime,
         plan: &FloorplanResult,
+        memo: Option<&'d TraceMemo>,
     ) -> Result<Self, FloorplanError> {
         let topology = config.topology();
         let n_modules = topology.num_modules();
@@ -197,6 +366,24 @@ impl<'d> EvaluationContext<'d> {
             .collect();
         let batch = dataset.batch(&module_cells);
 
+        let num_steps = dataset.num_steps() as usize;
+        let module = config.module();
+        let anchors: Vec<CellCoord> = plan.placement.modules().iter().map(|m| m.anchor).collect();
+
+        // Per-module traces, one contiguous block per module, filled in
+        // parallel (each block is an independent pure function of its
+        // anchor, so thread count cannot affect the bytes).
+        let mut trace = vec![0.0f64; n_modules * TRACE_FIELDS * num_steps];
+        runtime.for_each_chunk_mut(&mut trace, TRACE_FIELDS * num_steps, |k, block| {
+            fill_module_trace(dataset, &batch, module, memo, k, anchors[k], block);
+        });
+
+        // Per-string aggregates over the traces.
+        let mut agg = vec![0.0f64; strings.len() * AGG_FIELDS * num_steps];
+        runtime.for_each_chunk_mut(&mut agg, AGG_FIELDS * num_steps, |j, block| {
+            fill_string_agg(&trace, &strings[j], num_steps, block);
+        });
+
         let mut context = Self {
             dataset,
             config,
@@ -206,6 +393,12 @@ impl<'d> EvaluationContext<'d> {
             string_of: plan.string_of.clone(),
             batch,
             string_extra: vec![Meters::ZERO; topology.strings()],
+            trace,
+            agg,
+            memo,
+            pending: None,
+            undo_trace: vec![0.0f64; TRACE_FIELDS * num_steps],
+            undo_agg: vec![0.0f64; AGG_FIELDS * num_steps],
         };
         for j in 0..context.strings.len() {
             context.refresh_string_wiring(j);
@@ -226,10 +419,112 @@ impl<'d> EvaluationContext<'d> {
         self.placement.modules().iter().map(|m| m.anchor).collect()
     }
 
-    /// Moves module `k` to `anchor`, refreshing the state that depends on
-    /// it. On error the context is unchanged; on success the previous
-    /// anchor is returned so the move can be undone with another
-    /// `relocate`.
+    /// Number of simulated time steps.
+    #[inline]
+    fn num_steps(&self) -> usize {
+        self.dataset.num_steps() as usize
+    }
+
+    /// Proposes moving module `k` to `anchor`, refreshing exactly the
+    /// cached state that depends on it: module `k`'s irradiance group and
+    /// trace block (via the single-group kernel, or a [`TraceMemo`] lookup
+    /// when the anchor was seen before) and its string's aggregates and
+    /// wiring overhead. Returns the previous anchor.
+    ///
+    /// The displaced state is kept in an undo buffer until the proposal is
+    /// resolved with [`commit_move`](Self::commit_move) (keep it) or
+    /// [`rollback_move`](Self::rollback_move) (swap the old state back at
+    /// zero recomputation cost). At most one proposal is pending: a
+    /// successful `try_move` implicitly commits the previous one. On error
+    /// the context — including any pending proposal — is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::Geometry`] when the new position is out
+    /// of bounds, covers invalid cells, or overlaps another module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn try_move(&mut self, k: usize, anchor: CellCoord) -> Result<CellCoord, FloorplanError> {
+        let old_anchor = self
+            .placement
+            .try_relocate(k, anchor, self.dataset.valid())?;
+        // The move is geometrically valid: from here on the proposal
+        // replaces any previously pending one.
+        let cells: Vec<CellCoord> = self.placement.cells_of(k).collect();
+        let old_group = self.batch.replace_group(self.dataset, k, &cells);
+        let s = self.string_of[k];
+        let num_steps = self.num_steps();
+        self.undo_trace
+            .copy_from_slice(&self.trace[trace_block(k, num_steps)]);
+        self.undo_agg
+            .copy_from_slice(&self.agg[agg_block(s, num_steps)]);
+        let old_extra = self.string_extra[s];
+
+        fill_module_trace(
+            self.dataset,
+            &self.batch,
+            self.config.module(),
+            self.memo,
+            k,
+            anchor,
+            &mut self.trace[trace_block(k, num_steps)],
+        );
+        fill_string_agg(
+            &self.trace,
+            &self.strings[s],
+            num_steps,
+            &mut self.agg[agg_block(s, num_steps)],
+        );
+        self.refresh_string_wiring(s);
+
+        self.pending = Some(PendingMove {
+            module: k,
+            old_anchor,
+            old_group,
+            old_extra,
+        });
+        Ok(old_anchor)
+    }
+
+    /// Accepts the pending proposal: the undo buffer is discarded and the
+    /// moved state becomes permanent. No-op when nothing is pending.
+    pub fn commit_move(&mut self) {
+        self.pending = None;
+    }
+
+    /// Rejects the pending proposal: placement, irradiance group, trace
+    /// block, string aggregates and wiring overhead are restored from the
+    /// undo buffer — **no** irradiance or operating-point recomputation.
+    /// No-op when nothing is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prior anchor has become infeasible, which cannot
+    /// happen through this API (no other module moved since the proposal).
+    pub fn rollback_move(&mut self) {
+        let Some(undo) = self.pending.take() else {
+            return;
+        };
+        let k = undo.module;
+        let s = self.string_of[k];
+        let num_steps = self.num_steps();
+        self.placement
+            .try_relocate(k, undo.old_anchor, self.dataset.valid())
+            .expect("undoing a move to the prior anchor is always feasible");
+        self.batch.restore_group(k, undo.old_group);
+        self.trace[trace_block(k, num_steps)].copy_from_slice(&self.undo_trace);
+        self.agg[agg_block(s, num_steps)].copy_from_slice(&self.undo_agg);
+        self.string_extra[s] = undo.old_extra;
+    }
+
+    /// Moves module `k` to `anchor` and commits immediately, refreshing
+    /// the state that depends on it. On error the context is unchanged; on
+    /// success the previous anchor is returned so the move can be undone
+    /// with another `relocate` (search loops should prefer
+    /// [`try_move`](Self::try_move) + [`rollback_move`](Self::rollback_move),
+    /// which undoes without recomputing).
     ///
     /// # Errors
     ///
@@ -240,12 +535,8 @@ impl<'d> EvaluationContext<'d> {
     ///
     /// Panics if `k` is out of range.
     pub fn relocate(&mut self, k: usize, anchor: CellCoord) -> Result<CellCoord, FloorplanError> {
-        let old = self
-            .placement
-            .try_relocate(k, anchor, self.dataset.valid())?;
-        let cells: Vec<CellCoord> = self.placement.cells_of(k).collect();
-        self.batch.set_group(self.dataset, k, &cells);
-        self.refresh_string_wiring(self.string_of[k]);
+        let old = self.try_move(k, anchor)?;
+        self.commit_move();
         Ok(old)
     }
 
@@ -258,19 +549,81 @@ impl<'d> EvaluationContext<'d> {
         self.string_extra[j] = string_wiring_overhead(&centers, self.config.wiring()).extra_length;
     }
 
-    /// Integrates the energy of the current placement over the dataset.
+    /// Re-scores the current placement from the cached traces and string
+    /// aggregates — the hot path of incremental search: after a
+    /// [`try_move`](Self::try_move) this touches no irradiance or module
+    /// model code at all, only the per-step folds.
     ///
-    /// Time chunks of fixed size are integrated independently (in parallel
-    /// on the context's [`Runtime`]) over the batched irradiance kernel;
-    /// partial sums are folded in chunk order, so the report is identical
-    /// for every thread count.
+    /// Time chunks of fixed size are folded independently (in parallel on
+    /// the context's [`Runtime`]) and merged in chunk order, performing
+    /// the same operations in the same order as
+    /// [`evaluate_cold`](Self::evaluate_cold), so the report is
+    /// bit-identical to a cold evaluation on every thread count.
     #[must_use]
     pub fn evaluate(&self) -> EnergyReport {
+        let wiring = self.config.wiring();
+        let n_modules = self.placement.len();
+        let n_strings = self.strings.len();
+        let num_steps = self.num_steps();
+
+        let (gross, loss, unconstrained) = self.runtime.reduce_chunks(
+            num_steps,
+            STEP_CHUNK,
+            |steps| {
+                let mut gross = 0.0f64;
+                let mut loss = 0.0f64;
+                let mut unconstrained = 0.0f64;
+                for i in steps {
+                    let cond = self.dataset.conditions(i as u32);
+                    if !cond.sun_up {
+                        continue;
+                    }
+                    for k in 0..n_modules {
+                        let base = k * TRACE_FIELDS * num_steps;
+                        let v = self.trace[base + num_steps + i];
+                        let c = self.trace[base + 2 * num_steps + i];
+                        unconstrained += (Volts::new(v) * Amperes::new(c)).as_watts();
+                    }
+
+                    // Series/parallel bottleneck (paper Sec. III-B1) from
+                    // the cached per-string aggregates.
+                    let mut v_panel = f64::INFINITY;
+                    let mut i_panel = 0.0f64;
+                    let mut step_loss = 0.0f64;
+                    for j in 0..n_strings {
+                        let base = j * AGG_FIELDS * num_steps;
+                        let v = self.agg[base + i];
+                        let i_str = self.agg[base + num_steps + i];
+                        v_panel = v_panel.min(v);
+                        i_panel += i_str;
+                        step_loss += wiring
+                            .power_loss(self.string_extra[j], Amperes::new(i_str))
+                            .as_watts();
+                    }
+                    let p_panel = (Volts::new(v_panel) * Amperes::new(i_panel)).as_watts();
+                    gross += p_panel;
+                    loss += step_loss.min(p_panel);
+                }
+                (gross, loss, unconstrained)
+            },
+            (0.0f64, 0.0f64, 0.0f64),
+            |acc, part| (acc.0 + part.0, acc.1 + part.1, acc.2 + part.2),
+        );
+
+        self.report_from(gross, loss, unconstrained)
+    }
+
+    /// Integrates the energy of the current placement from scratch — the
+    /// pre-caching reference path (irradiance kernel and operating points
+    /// recomputed for **all** modules at every call), kept as the
+    /// benchmark baseline and the bit-identity anchor for
+    /// [`evaluate`](Self::evaluate).
+    #[must_use]
+    pub fn evaluate_cold(&self) -> EnergyReport {
         let module = self.config.module();
         let wiring = self.config.wiring();
         let n_modules = self.placement.len();
-        let num_steps = self.dataset.num_steps() as usize;
-        let extra_wire: Meters = self.string_extra.iter().copied().sum();
+        let num_steps = self.num_steps();
 
         let (gross, loss, unconstrained) = self.runtime.reduce_chunks(
             num_steps,
@@ -325,6 +678,12 @@ impl<'d> EvaluationContext<'d> {
             |acc, part| (acc.0 + part.0, acc.1 + part.1, acc.2 + part.2),
         );
 
+        self.report_from(gross, loss, unconstrained)
+    }
+
+    fn report_from(&self, gross: f64, loss: f64, unconstrained: f64) -> EnergyReport {
+        let wiring = self.config.wiring();
+        let extra_wire: Meters = self.string_extra.iter().copied().sum();
         let dt = self.dataset.step_duration();
         let to_energy = |w: f64| Watts::new(w).over(dt);
         EnergyReport {
@@ -335,6 +694,81 @@ impl<'d> EvaluationContext<'d> {
             extra_wire,
             wire_cost: wiring.cost(extra_wire),
         }
+    }
+}
+
+/// Index range of module `k`'s trace block.
+#[inline]
+const fn trace_block(k: usize, num_steps: usize) -> std::ops::Range<usize> {
+    k * TRACE_FIELDS * num_steps..(k + 1) * TRACE_FIELDS * num_steps
+}
+
+/// Index range of string `j`'s aggregate block.
+#[inline]
+const fn agg_block(j: usize, num_steps: usize) -> std::ops::Range<usize> {
+    j * AGG_FIELDS * num_steps..(j + 1) * AGG_FIELDS * num_steps
+}
+
+/// Fills module `k`'s trace block `[mean G | V | I]` for its current cell
+/// group, consulting (and feeding) the optional per-anchor memo.
+fn fill_module_trace(
+    dataset: &SolarDataset,
+    batch: &IrradianceBatch,
+    module: &EmpiricalModule,
+    memo: Option<&TraceMemo>,
+    k: usize,
+    anchor: CellCoord,
+    block: &mut [f64],
+) {
+    if let Some(memo) = memo {
+        if let Some(cached) = memo.get(anchor) {
+            assert_eq!(
+                cached.len(),
+                block.len(),
+                "memoized trace length mismatch: the memo was built for a \
+                 different dataset or configuration"
+            );
+            block.copy_from_slice(&cached);
+            return;
+        }
+    }
+    let num_steps = block.len() / TRACE_FIELDS;
+    let (means, ops) = block.split_at_mut(num_steps);
+    dataset.mean_irradiance_group_into(batch, k, 0..num_steps as u32, means);
+    let (volts, amps) = ops.split_at_mut(num_steps);
+    for i in 0..num_steps {
+        let cond = dataset.conditions(i as u32);
+        if cond.sun_up {
+            let op = module.operating_point(Irradiance::from_w_per_m2(means[i]), cond.ambient);
+            volts[i] = op.voltage.value();
+            amps[i] = op.current.value();
+        } else {
+            // The block may hold a previous module's values — zero
+            // explicitly so sun-down entries are deterministic.
+            volts[i] = 0.0;
+            amps[i] = 0.0;
+        }
+    }
+    if let Some(memo) = memo {
+        memo.insert(anchor, block);
+    }
+}
+
+/// Fills string `j`'s aggregate block `[Σ V | min I]` from the module
+/// traces, folding members in series-connection order — the same order and
+/// operations as the cold path's inline string fold.
+fn fill_string_agg(trace: &[f64], members: &[usize], num_steps: usize, block: &mut [f64]) {
+    let (v_sum, i_min) = block.split_at_mut(num_steps);
+    for i in 0..num_steps {
+        let mut v = 0.0f64;
+        let mut c = f64::INFINITY;
+        for &k in members {
+            let base = k * TRACE_FIELDS * num_steps;
+            v += trace[base + num_steps + i];
+            c = c.min(trace[base + 2 * num_steps + i]);
+        }
+        v_sum[i] = v;
+        i_min[i] = c;
     }
 }
 
@@ -357,6 +791,18 @@ mod tests {
             .extract(roof)
     }
 
+    fn chimney_roof() -> pv_gis::Dsm {
+        RoofBuilder::new(Meters::new(10.0), Meters::new(4.0))
+            .obstacle(Obstacle::chimney(
+                Meters::new(5.0),
+                Meters::new(1.5),
+                Meters::new(0.8),
+                Meters::new(0.8),
+                Meters::new(2.0),
+            ))
+            .build()
+    }
+
     #[test]
     fn energy_is_positive_and_consistent() {
         let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0)).build();
@@ -372,16 +818,7 @@ mod tests {
 
     #[test]
     fn report_is_bit_identical_across_thread_counts() {
-        let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0))
-            .obstacle(Obstacle::chimney(
-                Meters::new(5.0),
-                Meters::new(1.5),
-                Meters::new(0.8),
-                Meters::new(0.8),
-                Meters::new(2.0),
-            ))
-            .build();
-        let data = dataset(&roof, 5);
+        let data = dataset(&chimney_roof(), 5);
         let cfg = config(2, 2);
         let plan = greedy_placement(&data, &cfg).unwrap();
         let seq = EnergyEvaluator::new(&cfg)
@@ -398,17 +835,42 @@ mod tests {
     }
 
     #[test]
+    fn incremental_is_bit_identical_to_cold_reference() {
+        // The caching refactor's core claim: `evaluate` (from traces) and
+        // `evaluate_cold` (kernel + operating points from scratch) produce
+        // the same bits, on planar and undulating roofs.
+        for undulating in [false, true] {
+            let mut builder =
+                RoofBuilder::new(Meters::new(10.0), Meters::new(4.0)).obstacle(Obstacle::chimney(
+                    Meters::new(5.0),
+                    Meters::new(1.5),
+                    Meters::new(0.8),
+                    Meters::new(0.8),
+                    Meters::new(2.0),
+                ));
+            if undulating {
+                builder = builder.undulation(pv_units::Degrees::new(5.0), Meters::new(2.5), 7);
+            }
+            let data = dataset(&builder.build(), 4);
+            let cfg = config(2, 2);
+            let plan = greedy_placement(&data, &cfg).unwrap();
+            for threads in [1usize, 3] {
+                let ctx = EnergyEvaluator::new(&cfg)
+                    .with_runtime(Runtime::with_threads(threads))
+                    .context(&data, &plan)
+                    .unwrap();
+                assert_eq!(
+                    ctx.evaluate(),
+                    ctx.evaluate_cold(),
+                    "undulating {undulating}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn context_relocate_matches_fresh_context() {
-        let roof = RoofBuilder::new(Meters::new(10.0), Meters::new(4.0))
-            .obstacle(Obstacle::chimney(
-                Meters::new(5.0),
-                Meters::new(1.5),
-                Meters::new(0.8),
-                Meters::new(0.8),
-                Meters::new(2.0),
-            ))
-            .build();
-        let data = dataset(&roof, 3);
+        let data = dataset(&chimney_roof(), 3);
         let cfg = config(2, 1);
         let plan = greedy_placement(&data, &cfg).unwrap();
         let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
@@ -431,6 +893,80 @@ mod tests {
         ctx.relocate(1, old).unwrap();
         let original = evaluator.context(&data, &plan).unwrap().evaluate();
         assert_eq!(ctx.evaluate(), original);
+    }
+
+    #[test]
+    fn rollback_restores_the_full_context_state() {
+        let data = dataset(&chimney_roof(), 3);
+        let cfg = config(2, 1);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let memo = TraceMemo::new();
+        let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
+        let mut ctx = evaluator.context_with_memo(&data, &plan, &memo).unwrap();
+        let pristine = ctx.clone();
+
+        let target = pv_geom::CellCoord::new(30, 10);
+        let old = ctx.try_move(1, target).unwrap();
+        assert_ne!(old, target);
+        assert_ne!(ctx.anchors(), pristine.anchors());
+        ctx.rollback_move();
+
+        // Every cached structure is restored, not just the report:
+        // placement, irradiance groups, trace blocks, string aggregates
+        // and wiring extras.
+        assert_eq!(ctx.placement.modules(), pristine.placement.modules());
+        assert_eq!(ctx.batch, pristine.batch);
+        assert_eq!(ctx.trace, pristine.trace);
+        assert_eq!(ctx.agg, pristine.agg);
+        assert_eq!(ctx.string_extra, pristine.string_extra);
+        assert!(ctx.pending.is_none());
+        assert_eq!(ctx.evaluate(), pristine.evaluate());
+
+        // Rollback / commit with nothing pending are no-ops.
+        ctx.rollback_move();
+        ctx.commit_move();
+        assert_eq!(ctx.trace, pristine.trace);
+    }
+
+    #[test]
+    fn trace_memo_makes_revisited_anchors_lookups() {
+        let data = dataset(&chimney_roof(), 2);
+        let cfg = config(2, 1);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let memo = TraceMemo::new();
+        let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
+        let mut ctx = evaluator.context_with_memo(&data, &plan, &memo).unwrap();
+        assert_eq!(memo.len(), 2); // both initial anchors published
+
+        let target = pv_geom::CellCoord::new(30, 10);
+        let old = ctx.try_move(1, target).unwrap();
+        assert_eq!(memo.len(), 3);
+        ctx.rollback_move();
+        // Revisiting both known anchors adds nothing new.
+        ctx.relocate(1, target).unwrap();
+        ctx.relocate(1, old).unwrap();
+        assert_eq!(memo.len(), 3);
+
+        // A second context sharing the memo reproduces the same report.
+        let fresh = evaluator.context_with_memo(&data, &plan, &memo).unwrap();
+        assert_eq!(fresh.evaluate(), ctx.evaluate());
+    }
+
+    #[test]
+    fn trace_memo_byte_budget_degrades_to_recompute() {
+        let data = dataset(&chimney_roof(), 2);
+        let cfg = config(2, 1);
+        let plan = greedy_placement(&data, &cfg).unwrap();
+        let evaluator = EnergyEvaluator::new(&cfg).with_runtime(Runtime::sequential());
+        // A budget too small for a single trace: nothing is admitted, and
+        // every evaluation still produces the unmemoized result.
+        let tiny = TraceMemo::with_byte_budget(64);
+        let ctx = evaluator.context_with_memo(&data, &plan, &tiny).unwrap();
+        assert!(tiny.is_empty());
+        assert_eq!(
+            ctx.evaluate(),
+            evaluator.context(&data, &plan).unwrap().evaluate()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::config::FloorplanConfig;
 use crate::error::FloorplanError;
-use crate::evaluate::EnergyEvaluator;
+use crate::evaluate::{EnergyEvaluator, TraceMemo};
 use crate::greedy::FloorplanResult;
 use crate::suitability::SuitabilityMap;
 use pv_geom::{CellCoord, Placement};
@@ -92,7 +92,13 @@ pub fn optimal_placement_with_runtime(
     // sequential scan, so tie-breaks (`>`: first seen wins) and therefore
     // the result are thread-count independent. Leaf evaluations run on a
     // sequential evaluator to keep the parallelism at the subtree level.
+    //
+    // All subtrees share one per-anchor trace memo: the same anchor
+    // appears in many combinations, so after its first leaf its
+    // per-module trace is a lookup (memo hits are bit-identical to
+    // recomputation, so the merge order above still decides ties).
     let leaf_evaluator = EnergyEvaluator::new(config).with_runtime(Runtime::sequential());
+    let memo = TraceMemo::new();
 
     // Depth-first enumeration of anchor combinations in index order.
     #[allow(clippy::too_many_arguments)]
@@ -104,13 +110,15 @@ pub fn optimal_placement_with_runtime(
         dataset: &SolarDataset,
         config: &FloorplanConfig,
         evaluator: &EnergyEvaluator<'_>,
+        memo: &TraceMemo,
         best: &mut Option<(Vec<CellCoord>, pv_units::WattHours)>,
     ) {
         if chosen.len() == n_modules {
             let Some(plan) = build_plan(chosen, dataset, config) else {
                 return; // overlapping combination
             };
-            if let Ok(report) = evaluator.evaluate(dataset, &plan) {
+            if let Ok(ctx) = evaluator.context_with_memo(dataset, &plan, memo) {
+                let report = ctx.evaluate();
                 let better = best
                     .as_ref()
                     .is_none_or(|(_, e)| report.energy.as_wh() > e.as_wh());
@@ -134,6 +142,7 @@ pub fn optimal_placement_with_runtime(
                 dataset,
                 config,
                 evaluator,
+                memo,
                 best,
             );
             chosen.pop();
@@ -154,6 +163,7 @@ pub fn optimal_placement_with_runtime(
                     dataset,
                     config,
                     &leaf_evaluator,
+                    &memo,
                     &mut best,
                 );
                 chosen.pop();

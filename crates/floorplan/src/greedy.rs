@@ -121,7 +121,6 @@ pub fn greedy_placement_with_map(
     });
 
     let mut placement = Placement::new(dataset.dims(), footprint);
-    let mut consumed = vec![false; candidates.len()];
     let mut string_of = Vec::with_capacity(n_modules);
     let mut score_sum = 0.0;
 
@@ -147,31 +146,30 @@ pub fn greedy_placement_with_map(
         let threshold = distance_threshold(&placement, config.distance_threshold_factor());
 
         let tie = config.tie_tolerance();
-        let pick = select_candidate(
-            &candidates,
-            &mut consumed,
+        let tie_target = prev_in_string.map(|k| placement.center(k));
+        let mut pick = select_candidate(
+            &mut candidates,
             &placement,
             valid,
             threshold,
             tie,
-            prev_in_string.map(|k| placement.center(k)),
+            tie_target,
             center_of,
-        )
+        );
         // The threshold can over-filter on fragmented roofs; the paper's
         // loop would then run past the list end. We retry unfiltered so a
         // feasible placement is always completed when space exists.
-        .or_else(|| {
-            select_candidate(
-                &candidates,
-                &mut consumed,
+        if pick.is_none() {
+            pick = select_candidate(
+                &mut candidates,
                 &placement,
                 valid,
                 f64::INFINITY,
                 tie,
-                prev_in_string.map(|k| placement.center(k)),
+                tie_target,
                 center_of,
-            )
-        });
+            );
+        }
 
         let Some((idx, anchor, score)) = pick else {
             return Err(FloorplanError::NotEnoughSpace {
@@ -184,7 +182,7 @@ pub fn greedy_placement_with_map(
         placement
             .try_place(anchor, valid)
             .expect("selected candidate must be placeable");
-        consumed[idx] = true;
+        candidates.remove(idx);
         string_of.push(string);
         score_sum += score;
     }
@@ -221,10 +219,14 @@ fn distance_threshold(placement: &Placement, factor: Option<f64>) -> f64 {
 /// Scans the sorted candidate list for the best placeable anchor within the
 /// distance threshold, applying the wiring tie-break among candidates whose
 /// suitability ties the front-runner's.
-#[allow(clippy::too_many_arguments)]
+///
+/// Entries found covered by an earlier module (Line 7's removal) are
+/// **compacted out of the list in place** while scanning, so they are
+/// dropped exactly once instead of being skipped O(cells) times by every
+/// later pick. The returned index points into the compacted list; the
+/// caller removes the picked entry itself.
 fn select_candidate(
-    candidates: &[(CellCoord, f64)],
-    consumed: &mut [bool],
+    candidates: &mut Vec<(CellCoord, f64)>,
     placement: &Placement,
     valid: &pv_geom::CellMask,
     threshold: f64,
@@ -255,37 +257,47 @@ fn select_candidate(
 
     // `front_score` is the best suitability of any eligible candidate; the
     // scan continues through its tie window (scores within `tie_tolerance`
-    // of it) picking the candidate nearest to `tie_target`.
+    // of it) picking the candidate nearest to `tie_target`. `write`/`read`
+    // compact consumed entries away as the scan passes them.
     let mut front_score = f64::NEG_INFINITY;
     let mut best: Option<(usize, CellCoord, f64)> = None;
     let mut best_distance = f64::INFINITY;
-    for (idx, &(anchor, score)) in candidates.iter().enumerate() {
-        if consumed[idx] {
-            continue;
-        }
+    let n = candidates.len();
+    let mut write = 0usize;
+    let mut read = 0usize;
+    while read < n {
+        let (anchor, score) = candidates[read];
         if best.is_some() && score < front_score * (1.0 - tie_tolerance) {
             break; // past the tie window of the front-runner
         }
         if placement.check(anchor, valid).is_err() {
-            // Covered by an earlier module (Line 7's removal) — drop it so
-            // later scans skip it in O(1).
-            consumed[idx] = true;
+            // Covered by an earlier module — compacted away for good.
+            read += 1;
             continue;
         }
+        candidates[write] = (anchor, score);
+        let live_idx = write;
+        write += 1;
+        read += 1;
         if !within(anchor) {
             continue;
         }
         let Some(target) = tie_target else {
-            return Some((idx, anchor, score)); // no tie-break: first hit wins
+            best = Some((live_idx, anchor, score));
+            break; // no tie-break: first hit wins
         };
         let distance = manhattan(center_of(anchor), target).as_meters();
         if best.is_none() {
             front_score = score;
         }
         if best.is_none() || distance < best_distance {
-            best = Some((idx, anchor, score));
+            best = Some((live_idx, anchor, score));
             best_distance = distance;
         }
+    }
+    if write < read {
+        candidates.copy_within(read..n, write);
+        candidates.truncate(n - (read - write));
     }
     best
 }

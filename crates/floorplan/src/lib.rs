@@ -54,7 +54,7 @@ mod traditional;
 
 pub use config::FloorplanConfig;
 pub use error::FloorplanError;
-pub use evaluate::{EnergyEvaluator, EnergyReport, EvaluationContext};
+pub use evaluate::{EnergyEvaluator, EnergyReport, EvaluationContext, TraceMemo};
 pub use greedy::{greedy_placement, greedy_placement_with_map, FloorplanResult};
 pub use report::{ComparisonRow, Table1Report};
 pub use suitability::SuitabilityMap;

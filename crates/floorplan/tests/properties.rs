@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use pv_floorplan::{
     greedy_placement, greedy_placement_with_map, traditional_placement_with_map, EnergyEvaluator,
-    FloorplanConfig, SuitabilityMap,
+    FloorplanConfig, FloorplanResult, SuitabilityMap, TraceMemo,
 };
+use pv_geom::{CellCoord, Placement};
 use pv_gis::{Obstacle, RoofBuilder, Site, SolarDataset, SolarExtractor};
 use pv_model::Topology;
 use pv_runtime::Runtime;
@@ -110,6 +111,62 @@ proptest! {
             .evaluate(&data, &plan)
             .unwrap();
         prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Incremental delta evaluation is exact: after **any** sequence of
+    /// try_move proposals — each randomly committed or rolled back — the
+    /// context's cached re-score equals both a cold `EnergyEvaluator::
+    /// evaluate` of the final placement and the context's own from-scratch
+    /// `evaluate_cold`, bit for bit (full struct equality, no tolerance),
+    /// on any thread count. Extends `parallel_evaluation_is_bit_identical`
+    /// to the mutation path.
+    #[test]
+    fn incremental_evaluation_is_bit_identical_to_cold(
+        seed in 0u64..200, m in 1usize..4, n in 1usize..3, cx in 2.0..10.0f64,
+        threads in 1usize..9,
+        moves in prop::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..10)
+    ) {
+        let data = dataset(14.0, 5.0, seed, cx);
+        let config = FloorplanConfig::paper(Topology::new(m, n).unwrap()).unwrap();
+        let plan = greedy_placement(&data, &config).unwrap();
+        let map = SuitabilityMap::compute(&data, &config);
+        let anchors: Vec<CellCoord> = map
+            .anchor_scores(config.footprint())
+            .enumerate()
+            .filter(|(_, s)| s.is_finite())
+            .map(|(c, _)| c)
+            .collect();
+        prop_assert!(!anchors.is_empty());
+
+        let evaluator = EnergyEvaluator::new(&config)
+            .with_runtime(Runtime::with_threads(threads));
+        let memo = TraceMemo::new();
+        let mut ctx = evaluator.context_with_memo(&data, &plan, &memo).unwrap();
+        for &(kv, av, accept) in &moves {
+            let k = kv as usize % plan.placement.len();
+            let anchor = anchors[av as usize % anchors.len()];
+            if ctx.try_move(k, anchor).is_ok() {
+                if accept {
+                    ctx.commit_move();
+                } else {
+                    ctx.rollback_move();
+                }
+            }
+        }
+
+        // Cold reference: a fresh evaluation of the final placement.
+        let mut placement = Placement::new(data.dims(), config.footprint());
+        for a in ctx.anchors() {
+            placement.try_place(a, data.valid()).unwrap();
+        }
+        let final_plan = FloorplanResult {
+            placement,
+            string_of: plan.string_of.clone(),
+            mean_anchor_score: f64::NAN,
+        };
+        let cold = evaluator.evaluate(&data, &final_plan).unwrap();
+        prop_assert_eq!(ctx.evaluate(), cold.clone());
+        prop_assert_eq!(ctx.evaluate_cold(), cold);
     }
 
     /// The suitability map scores valid cells finitely and positively

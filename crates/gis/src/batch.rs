@@ -12,24 +12,166 @@
 //! - per-module **shadow word masks** — the beam-shadow census becomes a
 //!   handful of masked popcounts per module per step instead of one bit
 //!   test per cell;
+//! - per-cell **surface normals** hoisted into the group at construction
+//!   (undulating roofs only), so the beam loop never chases the dataset's
+//!   optional normal table per step × cell;
 //! - on planar roofs the beam incidence cosine is shared by all cells, so
 //!   the beam term collapses to `beam_poa × unshadowed / cells`.
 //!
-//! The result is [`SolarDataset::mean_irradiance_into`]: per-step
-//! per-module mean plane-of-array irradiance for a whole step range in one
-//! pass, the kernel under the energy evaluator's time-chunked integration.
+//! Two query shapes sit on top: [`SolarDataset::mean_irradiance_into`]
+//! (every group × a step range — the cold-evaluation kernel) and
+//! [`SolarDataset::mean_irradiance_group_into`] (one group × a step range —
+//! the single-module relocation path of incremental delta evaluation).
+//! Both are computed by the same per-(step, group) helper, so their outputs
+//! are bit-identical by construction.
 
-use crate::dataset::SolarDataset;
+use crate::dataset::{SolarDataset, StepConditions};
 use pv_geom::CellCoord;
+
+/// Static per-group state: one cell set whose mean irradiance is wanted as
+/// a single number (in practice the cells covered by one PV module).
+///
+/// Owned by an [`IrradianceBatch`]; escapes it only through
+/// [`IrradianceBatch::replace_group`], whose return value lets a caller
+/// undo a speculative relocation with
+/// [`IrradianceBatch::restore_group`] — no recomputation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IrradianceGroup {
+    /// `(shadow word index, bits of this group in that word)`.
+    masks: Vec<(u32, u64)>,
+    /// Linear cell indices (the undulating-surface beam path).
+    cells: Vec<u32>,
+    /// `1 / cell count`.
+    inv_count: f64,
+    /// Mean sky-view factor over the cells.
+    svf_mean: f64,
+    /// Per-cell unit normals aligned with `cells`; empty on planar roofs
+    /// (every cell shares the dataset's plane normal).
+    normals: Vec<[f64; 3]>,
+}
+
+impl IrradianceGroup {
+    /// Builds the static state of one cell group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty, contains duplicates, or contains a cell
+    /// outside `dataset`'s grid.
+    fn new(dataset: &SolarDataset, cells: &[CellCoord]) -> Self {
+        assert!(!cells.is_empty(), "cell group must not be empty");
+        let dims = dataset.dims();
+        let planar = dataset.is_planar();
+        let mut masks: Vec<(u32, u64)> = Vec::new();
+        let mut linear = Vec::with_capacity(cells.len());
+        let mut normals = Vec::with_capacity(if planar { 0 } else { cells.len() });
+        let mut svf_sum = 0.0f64;
+        for &cell in cells {
+            assert!(dims.contains(cell), "cell outside grid");
+            let bit = dims.linear_index(cell);
+            linear.push(bit as u32);
+            svf_sum += dataset.sky_view_factor(cell);
+            if !planar {
+                normals.push(dataset.cell_normal_linear(bit));
+            }
+            let word = (bit / 64) as u32;
+            let mask = 1u64 << (bit % 64);
+            // Cells of one module are spatially clustered, so consecutive
+            // bits usually share a word; scan the short list rather than
+            // hashing.
+            match masks.iter_mut().find(|(w, _)| *w == word) {
+                Some((_, m)) => {
+                    // A repeated cell would skew the mean: the popcount
+                    // census counts it once while the cell count weighs it
+                    // twice.
+                    assert_eq!(*m & mask, 0, "duplicate cell in group");
+                    *m |= mask;
+                }
+                None => masks.push((word, mask)),
+            }
+        }
+        let inv_count = 1.0 / cells.len() as f64;
+        Self {
+            masks,
+            cells: linear,
+            inv_count,
+            svf_mean: svf_sum * inv_count,
+            normals,
+        }
+    }
+
+    /// Mean plane-of-array irradiance of this group at one *sun-up* step;
+    /// `planar_beam_poa` is `Some(beam POA)` on planar roofs (one shared
+    /// incidence term, hoisted per step by [`step_beam_poa`]) and `None`
+    /// on undulating ones (hoisted per-cell normals).
+    ///
+    /// The single source of the per-(step, group) arithmetic: both the
+    /// all-groups and the single-group kernels call it, which is what makes
+    /// incremental re-evaluation bit-identical to a cold pass.
+    #[inline]
+    fn mean_at(
+        &self,
+        cond: &StepConditions,
+        shadow_row: Option<&[u64]>,
+        planar_beam_poa: Option<f64>,
+    ) -> f64 {
+        let diffuse = cond.diffuse_poa.as_w_per_m2();
+        let ground = cond.ground_poa.as_w_per_m2();
+        let beam_dni = cond.beam_normal.as_w_per_m2();
+        let s = cond.sun_direction;
+        if let Some(beam_poa) = planar_beam_poa {
+            // One incidence cosine for the whole roof: the beam term needs
+            // only the unshadowed-cell census.
+            let shadowed: u32 = match shadow_row {
+                None => 0,
+                Some(words) => self
+                    .masks
+                    .iter()
+                    .map(|&(w, m)| (words[w as usize] & m).count_ones())
+                    .sum(),
+            };
+            let unshadowed = self.cells.len() as f64 - f64::from(shadowed);
+            beam_poa * unshadowed * self.inv_count + diffuse * self.svf_mean + ground
+        } else {
+            // Undulating surface: per-cell (hoisted) normals make the beam
+            // term cell-dependent; shadow tests still come from the packed
+            // row words.
+            let mut beam_sum = 0.0f64;
+            for (&bit, n) in self.cells.iter().zip(&self.normals) {
+                let shadowed = match shadow_row {
+                    None => false,
+                    Some(words) => words[bit as usize / 64] & (1u64 << (bit % 64)) != 0,
+                };
+                if !shadowed {
+                    beam_sum += (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
+                }
+            }
+            beam_dni * beam_sum * self.inv_count + diffuse * self.svf_mean + ground
+        }
+    }
+}
+
+/// The shared planar beam POA of one sun-up step (`Some` only when the
+/// roof is planar) — hoisted once per step so the per-group loop repeats
+/// no sun-geometry arithmetic.
+#[inline]
+fn step_beam_poa(plane_normal: Option<[f64; 3]>, cond: &StepConditions) -> Option<f64> {
+    plane_normal.map(|n| {
+        let s = cond.sun_direction;
+        let cos_i = (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
+        cond.beam_normal.as_w_per_m2() * cos_i
+    })
+}
 
 /// Precomputed per-group state for batched mean-irradiance queries.
 ///
 /// A *group* is any set of cells whose mean irradiance is wanted as one
 /// number — in practice the cells covered by one PV module. Build with
 /// [`SolarDataset::batch`], query with
-/// [`SolarDataset::mean_irradiance_into`], and relocate a single group with
-/// [`set_group`](Self::set_group) (the annealer moves one module at a
-/// time).
+/// [`SolarDataset::mean_irradiance_into`] /
+/// [`SolarDataset::mean_irradiance_group_into`], and relocate a single
+/// group with [`set_group`](Self::set_group) or the undo-friendly
+/// [`replace_group`](Self::replace_group) (the annealer moves one module at
+/// a time and rolls rejected proposals back).
 ///
 /// ```
 /// use pv_gis::{RoofBuilder, SolarExtractor, Site};
@@ -45,16 +187,9 @@ use pv_geom::CellCoord;
 /// let scalar: f64 = cells.iter().map(|&c| data.irradiance(c, 6).as_w_per_m2()).sum::<f64>() / 4.0;
 /// assert!((means[6] - scalar).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IrradianceBatch {
-    /// Per group: `(shadow word index, bits of this group in that word)`.
-    masks: Vec<Vec<(u32, u64)>>,
-    /// Per group: linear cell indices (the undulating-surface beam path).
-    cells: Vec<Vec<u32>>,
-    /// Per group: `1 / cell count`.
-    inv_count: Vec<f64>,
-    /// Per group: mean sky-view factor over the cells.
-    svf_mean: Vec<f64>,
+    groups: Vec<IrradianceGroup>,
 }
 
 impl IrradianceBatch {
@@ -62,7 +197,7 @@ impl IrradianceBatch {
     #[inline]
     #[must_use]
     pub fn num_groups(&self) -> usize {
-        self.inv_count.len()
+        self.groups.len()
     }
 
     /// Recomputes the static state of group `g` for a new cell set — the
@@ -73,46 +208,35 @@ impl IrradianceBatch {
     /// Panics if `g` is out of range, `cells` is empty or contains
     /// duplicates, or a cell lies outside `dataset`'s grid.
     pub fn set_group(&mut self, dataset: &SolarDataset, g: usize, cells: &[CellCoord]) {
-        assert!(g < self.num_groups(), "group index out of range");
-        let (masks, linear, inv_count, svf_mean) = group_state(dataset, cells);
-        self.masks[g] = masks;
-        self.cells[g] = linear;
-        self.inv_count[g] = inv_count;
-        self.svf_mean[g] = svf_mean;
+        let _ = self.replace_group(dataset, g, cells);
     }
-}
 
-/// Builds the per-group static state shared by `batch` and `set_group`.
-fn group_state(
-    dataset: &SolarDataset,
-    cells: &[CellCoord],
-) -> (Vec<(u32, u64)>, Vec<u32>, f64, f64) {
-    assert!(!cells.is_empty(), "cell group must not be empty");
-    let dims = dataset.dims();
-    let mut masks: Vec<(u32, u64)> = Vec::new();
-    let mut linear = Vec::with_capacity(cells.len());
-    let mut svf_sum = 0.0f64;
-    for &cell in cells {
-        assert!(dims.contains(cell), "cell outside grid");
-        let bit = dims.linear_index(cell);
-        linear.push(bit as u32);
-        svf_sum += dataset.sky_view_factor(cell);
-        let word = (bit / 64) as u32;
-        let mask = 1u64 << (bit % 64);
-        // Cells of one module are spatially clustered, so consecutive bits
-        // usually share a word; scan the short list rather than hashing.
-        match masks.iter_mut().find(|(w, _)| *w == word) {
-            Some((_, m)) => {
-                // A repeated cell would skew the mean: the popcount census
-                // counts it once while the cell count weighs it twice.
-                assert_eq!(*m & mask, 0, "duplicate cell in group");
-                *m |= mask;
-            }
-            None => masks.push((word, mask)),
-        }
+    /// [`set_group`](Self::set_group), returning the replaced state so a
+    /// speculative move can be undone with
+    /// [`restore_group`](Self::restore_group) at zero recomputation cost.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`set_group`](Self::set_group).
+    pub fn replace_group(
+        &mut self,
+        dataset: &SolarDataset,
+        g: usize,
+        cells: &[CellCoord],
+    ) -> IrradianceGroup {
+        assert!(g < self.num_groups(), "group index out of range");
+        std::mem::replace(&mut self.groups[g], IrradianceGroup::new(dataset, cells))
     }
-    let inv = 1.0 / cells.len() as f64;
-    (masks, linear, inv, svf_sum * inv)
+
+    /// Puts a previously [`replace_group`](Self::replace_group)d state back
+    /// — the rollback half of a try/commit/rollback move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn restore_group(&mut self, g: usize, group: IrradianceGroup) {
+        self.groups[g] = group;
+    }
 }
 
 impl SolarDataset {
@@ -125,20 +249,12 @@ impl SolarDataset {
     /// contains a cell outside the grid.
     #[must_use]
     pub fn batch(&self, groups: &[Vec<CellCoord>]) -> IrradianceBatch {
-        let mut batch = IrradianceBatch {
-            masks: Vec::with_capacity(groups.len()),
-            cells: Vec::with_capacity(groups.len()),
-            inv_count: Vec::with_capacity(groups.len()),
-            svf_mean: Vec::with_capacity(groups.len()),
-        };
-        for group in groups {
-            let (masks, linear, inv_count, svf_mean) = group_state(self, group);
-            batch.masks.push(masks);
-            batch.cells.push(linear);
-            batch.inv_count.push(inv_count);
-            batch.svf_mean.push(svf_mean);
+        IrradianceBatch {
+            groups: groups
+                .iter()
+                .map(|group| IrradianceGroup::new(self, group))
+                .collect(),
         }
-        batch
     }
 
     /// Writes the mean plane-of-array irradiance of every batch group for
@@ -165,6 +281,7 @@ impl SolarDataset {
             steps.len() * num_groups,
             "output buffer must hold steps × groups means"
         );
+        let plane_normal = self.is_planar().then(|| self.plane_normal());
 
         for (rel, i) in steps.enumerate() {
             let row_out = &mut out[rel * num_groups..(rel + 1) * num_groups];
@@ -173,52 +290,53 @@ impl SolarDataset {
                 row_out.fill(0.0);
                 continue;
             }
-            let diffuse = cond.diffuse_poa.as_w_per_m2();
-            let ground = cond.ground_poa.as_w_per_m2();
-            let beam_dni = cond.beam_normal.as_w_per_m2();
-            let s = cond.sun_direction;
             let shadow_row = self.shadow_row_words(i);
-
-            if self.is_planar() {
-                // One incidence cosine for the whole roof: the beam term
-                // needs only the unshadowed-cell census per group.
-                let n = self.plane_normal();
-                let cos_i = (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
-                let beam_poa = beam_dni * cos_i;
-                for (g, out) in row_out.iter_mut().enumerate() {
-                    let shadowed: u32 = match shadow_row {
-                        None => 0,
-                        Some(words) => batch.masks[g]
-                            .iter()
-                            .map(|&(w, m)| (words[w as usize] & m).count_ones())
-                            .sum(),
-                    };
-                    let unshadowed = batch.cells[g].len() as f64 - f64::from(shadowed);
-                    *out = beam_poa * unshadowed * batch.inv_count[g]
-                        + diffuse * batch.svf_mean[g]
-                        + ground;
-                }
-            } else {
-                // Undulating surface: per-cell normals make the beam term
-                // cell-dependent; shadow tests still come from the packed
-                // row words.
-                for (g, out) in row_out.iter_mut().enumerate() {
-                    let mut beam_sum = 0.0f64;
-                    for &bit in &batch.cells[g] {
-                        let shadowed = match shadow_row {
-                            None => false,
-                            Some(words) => words[bit as usize / 64] & (1u64 << (bit % 64)) != 0,
-                        };
-                        if !shadowed {
-                            let n = self.cell_normal_linear(bit as usize);
-                            beam_sum += (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
-                        }
-                    }
-                    *out = beam_dni * beam_sum * batch.inv_count[g]
-                        + diffuse * batch.svf_mean[g]
-                        + ground;
-                }
+            let beam_poa = step_beam_poa(plane_normal, cond);
+            for (g, out) in row_out.iter_mut().enumerate() {
+                *out = batch.groups[g].mean_at(cond, shadow_row, beam_poa);
             }
+        }
+    }
+
+    /// Writes the mean plane-of-array irradiance of the single group `g`
+    /// for every step in `steps` into `out` (`out[step - steps.start]`, in
+    /// W/m²) — the kernel behind single-module trace refresh in incremental
+    /// delta evaluation. Bit-identical to the `g`-th column of
+    /// [`mean_irradiance_into`](Self::mean_irradiance_into) over the same
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range, `steps` exceeds the clock range, or
+    /// `out.len() != steps.len()`.
+    pub fn mean_irradiance_group_into(
+        &self,
+        batch: &IrradianceBatch,
+        g: usize,
+        steps: core::ops::Range<u32>,
+        out: &mut [f64],
+    ) {
+        assert!(g < batch.num_groups(), "group index out of range");
+        assert!(steps.end <= self.num_steps(), "step range out of bounds");
+        assert_eq!(
+            out.len(),
+            steps.len(),
+            "output buffer must hold one mean per step"
+        );
+        let plane_normal = self.is_planar().then(|| self.plane_normal());
+        let group = &batch.groups[g];
+
+        for (rel, i) in steps.enumerate() {
+            let cond = self.conditions(i);
+            out[rel] = if cond.sun_up {
+                group.mean_at(
+                    cond,
+                    self.shadow_row_words(i),
+                    step_beam_poa(plane_normal, cond),
+                )
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -322,6 +440,41 @@ mod tests {
     }
 
     #[test]
+    fn single_group_kernel_is_bit_identical_to_batched_column() {
+        for undulating in [false, true] {
+            let mut builder =
+                RoofBuilder::new(Meters::new(8.0), Meters::new(3.0)).obstacle(Obstacle::chimney(
+                    Meters::new(3.0),
+                    Meters::new(1.0),
+                    Meters::new(0.8),
+                    Meters::new(0.8),
+                    Meters::new(2.0),
+                ));
+            if undulating {
+                builder = builder.undulation(pv_units::Degrees::new(5.0), Meters::new(2.0), 4);
+            }
+            let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 60))
+                .seed(3)
+                .extract(&builder.build());
+            let groups = groups();
+            let batch = data.batch(&groups);
+            let n = data.num_steps();
+            let mut all = vec![0.0; n as usize * 2];
+            data.mean_irradiance_into(&batch, 0..n, &mut all);
+            for g in 0..2 {
+                let mut one = vec![0.0; n as usize];
+                data.mean_irradiance_group_into(&batch, g, 0..n, &mut one);
+                let column: Vec<f64> = (0..n as usize).map(|i| all[i * 2 + g]).collect();
+                assert_eq!(one, column, "undulating {undulating} group {g}");
+                // Sub-ranges agree too.
+                let mut part = vec![0.0; 7];
+                data.mean_irradiance_group_into(&batch, g, 9..16, &mut part);
+                assert_eq!(&one[9..16], &part[..]);
+            }
+        }
+    }
+
+    #[test]
     fn set_group_relocates_a_module() {
         let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(3.0))
             .obstacle(Obstacle::chimney(
@@ -352,6 +505,26 @@ mod tests {
     }
 
     #[test]
+    fn replace_then_restore_roundtrips_exactly() {
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(3.0))
+            .undulation(pv_units::Degrees::new(4.0), Meters::new(2.0), 2)
+            .build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 120))
+            .seed(4)
+            .extract(&roof);
+        let all = groups();
+        let mut batch = data.batch(&all);
+        let pristine = batch.clone();
+        let elsewhere: Vec<CellCoord> = (0..8)
+            .flat_map(|x| (0..4).map(move |y| CellCoord::new(30 + x, 8 + y)))
+            .collect();
+        let old = batch.replace_group(&data, 0, &elsewhere);
+        assert_ne!(batch, pristine);
+        batch.restore_group(0, old);
+        assert_eq!(batch, pristine);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate cell")]
     fn duplicate_cell_in_group_rejected() {
         let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
@@ -379,5 +552,16 @@ mod tests {
         let batch = data.batch(&[vec![CellCoord::new(0, 0)]]);
         let mut out = vec![0.0; 3];
         data.mean_irradiance_into(&batch, 0..data.num_steps(), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn single_group_wrong_output_size_rejected() {
+        let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+        let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .extract(&roof);
+        let batch = data.batch(&[vec![CellCoord::new(0, 0)]]);
+        let mut out = vec![0.0; 2];
+        data.mean_irradiance_group_into(&batch, 0, 0..data.num_steps(), &mut out);
     }
 }

@@ -64,7 +64,7 @@ mod sunpos;
 pub mod transposition;
 mod weather;
 
-pub use batch::IrradianceBatch;
+pub use batch::{IrradianceBatch, IrradianceGroup};
 pub use clearsky::ClearSky;
 pub use dataset::{CellWeatherView, SolarDataset, StepConditions};
 pub use dsm::{Dsm, RoofBuilder, RoofGeometry};

@@ -152,6 +152,61 @@ impl Runtime {
             .collect()
     }
 
+    /// Runs `f` over `data` split into consecutive chunks of `granularity`
+    /// elements (the last chunk possibly short), in place and possibly in
+    /// parallel; `f` receives the chunk index and the mutable chunk slice.
+    ///
+    /// The chunk layout depends only on `data.len()` and `granularity`, and
+    /// every chunk is written by exactly one call of `f`, so the final
+    /// contents of `data` are identical for every thread count — this is
+    /// the *fill* counterpart of [`map_chunks`](Self::map_chunks), for hot
+    /// paths that build large buffers (e.g. per-module trace caches)
+    /// without a per-chunk allocation. Chunks are statically distributed
+    /// round-robin over the workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero, or if a worker thread panics
+    /// (the panic is propagated).
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], granularity: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(granularity > 0, "chunk granularity must be positive");
+        let num_chunks = data.len().div_ceil(granularity);
+        let workers = self.threads.min(num_chunks);
+        if workers <= 1 {
+            for (c, chunk) in data.chunks_mut(granularity).enumerate() {
+                f(c, chunk);
+            }
+            return;
+        }
+
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (c, chunk) in data.chunks_mut(granularity).enumerate() {
+            buckets[c % workers].push((c, chunk));
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        for (c, chunk) in bucket {
+                            f(c, chunk);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
     /// Maps `f` over `0..len` in chunks (as [`map_chunks`](Self::map_chunks))
     /// and folds the chunk results **in ascending chunk order** with
     /// `fold`, starting from `init`.
@@ -274,6 +329,48 @@ mod tests {
         assert_eq!(parse_threads(""), None);
         assert_eq!(parse_threads("many"), None);
         assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_fills_every_chunk_identically() {
+        for len in [0usize, 1, 5, 64, 1000] {
+            for granularity in [1usize, 3, 64, 2048] {
+                let mut expected = vec![0u64; len];
+                Runtime::sequential().for_each_chunk_mut(&mut expected, granularity, |c, chunk| {
+                    for (off, x) in chunk.iter_mut().enumerate() {
+                        *x = (c * 1000 + off) as u64;
+                    }
+                });
+                for threads in [2usize, 3, 8] {
+                    let mut got = vec![0u64; len];
+                    Runtime::with_threads(threads).for_each_chunk_mut(
+                        &mut got,
+                        granularity,
+                        |c, chunk| {
+                            for (off, x) in chunk.iter_mut().enumerate() {
+                                *x = (c * 1000 + off) as u64;
+                            }
+                        },
+                    );
+                    assert_eq!(got, expected, "len {len} granularity {granularity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn for_each_chunk_mut_zero_granularity_rejected() {
+        Runtime::sequential().for_each_chunk_mut(&mut [0u8; 4], 0, |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk boom")]
+    fn for_each_chunk_mut_worker_panic_propagates() {
+        let mut data = vec![0u8; 8];
+        Runtime::with_threads(2).for_each_chunk_mut(&mut data, 1, |c, _| {
+            assert!(c != 5, "chunk boom");
+        });
     }
 
     #[test]

@@ -85,8 +85,8 @@ pub mod floorplan {
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use pv_floorplan::{
-        greedy_placement, traditional_placement, EnergyEvaluator, EnergyReport, FloorplanConfig,
-        FloorplanResult, SuitabilityMap,
+        greedy_placement, traditional_placement, EnergyEvaluator, EnergyReport, EvaluationContext,
+        FloorplanConfig, FloorplanResult, SuitabilityMap, TraceMemo,
     };
     pub use pv_geom::{CellCoord, CellMask, Footprint, Grid, GridDims, Placement, Polygon};
     pub use pv_gis::{
