@@ -1,16 +1,31 @@
-//! CI guard for the machine-readable bench artifact.
+//! CI guard for the machine-readable bench artifacts.
 //!
-//! Validates that `BENCH_evaluator.json` (written by the
-//! `evaluator_throughput` bench and `diag --timings`) exists at the repo
-//! root and matches the schema the perf-trajectory tooling expects: a
-//! non-empty JSON array of objects, each with string `bench`/`scale`/`name`
-//! fields and finite, non-negative `ns_per_eval`/`speedup_vs_cold`
-//! numbers. Exits non-zero with a diagnostic otherwise — keeping the
-//! artifact honest and fully offline.
+//! Validates that a bench artifact — `BENCH_evaluator.json` (written by
+//! the `evaluator_throughput` bench and `diag --timings`) or
+//! `BENCH_portfolio.json` (written by the `portfolio` bin and
+//! `pvplan suite`) — exists and matches the schema the perf-trajectory
+//! tooling expects: a non-empty JSON array of objects, each carrying the
+//! shared string core (`bench`, `scale`, `name`) plus its variant's
+//! numeric measurements, all finite and non-negative. Exits non-zero with
+//! a diagnostic otherwise — keeping the artifacts honest and fully
+//! offline.
 //!
-//! Usage: `cargo run -p pv_bench --bin check_bench_json [path]`
+//! Usage: `cargo run -p pv_bench --bin check_bench_json [path]...`
+//! (no path: checks `BENCH_evaluator.json` at the repo root).
 
 use pv_bench::json::{parse, JsonValue};
+
+/// Checks one numeric field for existence, finiteness and non-negativity.
+fn check_number(item: &JsonValue, i: usize, key: &str) -> Result<(), String> {
+    let x = item
+        .get(key)
+        .and_then(JsonValue::as_number)
+        .ok_or(format!("record {i}: missing numeric field {key:?}"))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!("record {i}: {key} = {x} is not a sane measurement"));
+    }
+    Ok(())
+}
 
 fn validate(doc: &str) -> Result<usize, String> {
     let value = parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
@@ -22,46 +37,104 @@ fn validate(doc: &str) -> Result<usize, String> {
         if !matches!(item, JsonValue::Object(_)) {
             return Err(format!("record {i} is not an object"));
         }
+        // Shared core of every artifact variant.
         for key in ["bench", "scale", "name"] {
             item.get(key)
                 .and_then(JsonValue::as_str)
                 .filter(|s| !s.is_empty())
                 .ok_or(format!("record {i}: missing or empty string field {key:?}"))?;
         }
-        for key in ["ns_per_eval", "speedup_vs_cold"] {
-            let x = item
-                .get(key)
-                .and_then(JsonValue::as_number)
-                .ok_or(format!("record {i}: missing numeric field {key:?}"))?;
-            if !x.is_finite() || x < 0.0 {
-                return Err(format!("record {i}: {key} = {x} is not a sane measurement"));
+        // Variant fields: evaluator-throughput vs portfolio records.
+        if item.get("ns_per_eval").is_some() {
+            for key in ["ns_per_eval", "speedup_vs_cold"] {
+                check_number(item, i, key)?;
             }
+        } else if item.get("greedy_wh").is_some() {
+            for key in [
+                "latitude_deg",
+                "width_cells",
+                "depth_cells",
+                "ng",
+                "series",
+                "strings",
+                "greedy_wh",
+                "anneal_wh",
+                "anneal_gain_percent",
+                "wall_ms",
+            ] {
+                check_number(item, i, key)?;
+            }
+            // Optional pair: present together or not at all, both sane
+            // (the exhaustive optimum bounds greedy, so the gap is ≥ 0).
+            match (item.get("exact_wh"), item.get("exact_gap_percent")) {
+                (None, None) => {}
+                (Some(_), Some(_)) => {
+                    check_number(item, i, "exact_wh")?;
+                    check_number(item, i, "exact_gap_percent")?;
+                }
+                _ => {
+                    return Err(format!(
+                        "record {i}: exact_wh and exact_gap_percent must appear together"
+                    ))
+                }
+            }
+            item.get("archetype")
+                .and_then(JsonValue::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or(format!(
+                    "record {i}: missing or empty string field \"archetype\""
+                ))?;
+        } else {
+            return Err(format!(
+                "record {i}: neither an evaluator record (ns_per_eval) nor \
+                 a portfolio record (greedy_wh)"
+            ));
         }
     }
     Ok(items.len())
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .map_or_else(pv_bench::bench_json_path, std::path::PathBuf::from);
-    let doc = match std::fs::read_to_string(&path) {
+fn check_file(path: &std::path::Path) -> Result<(), ()> {
+    let doc = match std::fs::read_to_string(path) {
         Ok(doc) => doc,
         Err(e) => {
             eprintln!(
                 "Error: cannot read {} ({e}); run the evaluator_throughput \
-                 bench or diag --timings first",
+                 bench, diag --timings, or the portfolio bin first",
                 path.display()
             );
-            std::process::exit(1);
+            return Err(());
         }
     };
     match validate(&doc) {
-        Ok(n) => println!("{}: {n} record(s), schema ok", path.display()),
+        Ok(n) => {
+            println!("{}: {n} record(s), schema ok", path.display());
+            Ok(())
+        }
         Err(e) => {
             eprintln!("Error: {} is malformed: {e}", path.display());
-            std::process::exit(1);
+            Err(())
         }
+    }
+}
+
+fn main() {
+    let paths: Vec<std::path::PathBuf> = {
+        let args: Vec<_> = std::env::args()
+            .skip(1)
+            .map(std::path::PathBuf::from)
+            .collect();
+        if args.is_empty() {
+            vec![pv_bench::bench_json_path()]
+        } else {
+            args
+        }
+    };
+    // Check (and report on) every artifact before deciding the exit code —
+    // a broken first file must not mask diagnostics for the second.
+    let results: Vec<_> = paths.iter().map(|p| check_file(p)).collect();
+    if results.iter().any(Result::is_err) {
+        std::process::exit(1);
     }
 }
 
@@ -72,9 +145,48 @@ mod tests {
     const GOOD: &str = r#"[{"bench": "b", "scale": "s", "name": "n",
         "ns_per_eval": 12.5, "speedup_vs_cold": 1.0}]"#;
 
+    const GOOD_PORTFOLIO: &str = r#"[{"bench": "portfolio:smoke", "scale": "s",
+        "name": "s000-flat-lat27", "archetype": "flat", "latitude_deg": 27.0,
+        "width_cells": 60, "depth_cells": 30, "ng": 1500,
+        "series": 2, "strings": 2, "greedy_wh": 1234.5, "anneal_wh": 1250.0,
+        "anneal_gain_percent": 1.25, "exact_wh": 1260.0,
+        "exact_gap_percent": 2.02, "wall_ms": 17.3}]"#;
+
     #[test]
-    fn accepts_the_writer_schema() {
+    fn accepts_the_evaluator_writer_schema() {
         assert_eq!(validate(GOOD), Ok(1));
+    }
+
+    #[test]
+    fn accepts_the_portfolio_writer_schema() {
+        assert_eq!(validate(GOOD_PORTFOLIO), Ok(1));
+        // The exact pair is optional — but only as a pair.
+        let no_exact = GOOD_PORTFOLIO
+            .replace(r#""exact_wh": 1260.0,"#, "")
+            .replace(r#""exact_gap_percent": 2.02,"#, "");
+        assert_eq!(validate(&no_exact), Ok(1));
+        let half_pair = GOOD_PORTFOLIO.replace(r#""exact_wh": 1260.0,"#, "");
+        assert!(validate(&half_pair).is_err());
+    }
+
+    #[test]
+    fn accepts_a_real_rendered_portfolio_document() {
+        use pv_bench::portfolio::{render_portfolio_json, PortfolioRecord};
+        let record = PortfolioRecord {
+            scenario: "s001-leanto-lat30".into(),
+            archetype: "leanto".into(),
+            latitude_deg: 30.2,
+            dims: (70, 33),
+            ng: 2000,
+            series: 4,
+            strings: 2,
+            greedy_wh: 5000.0,
+            anneal_wh: 5010.0,
+            exact_wh: None,
+            wall_ms: 12.0,
+        };
+        let doc = render_portfolio_json("smoke", "2 days @ 120 min", &[record]);
+        assert_eq!(validate(&doc), Ok(1));
     }
 
     #[test]
@@ -98,6 +210,14 @@ mod tests {
             (
                 r#"[{"bench": "b", "scale": "s", "name": "n", "ns_per_eval": -1, "speedup_vs_cold": 1}]"#,
                 "negative",
+            ),
+            (
+                r#"[{"bench": "b", "scale": "s", "name": "n"}]"#,
+                "no variant fields",
+            ),
+            (
+                r#"[{"bench": "b", "scale": "s", "name": "n", "greedy_wh": 1.0}]"#,
+                "portfolio record missing fields",
             ),
             ("not json", "garbage"),
         ] {

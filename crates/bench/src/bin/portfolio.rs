@@ -1,0 +1,59 @@
+//! Portfolio runner harness: score a scenario corpus with the full placer
+//! ensemble and write the machine-readable `BENCH_portfolio.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pv_bench --bin portfolio -- \
+//!     [--preset paper3|smoke|diverse64|stress256] [--seed S] \
+//!     [--threads N] [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` switches to the CI-smoke options (2-day coarse clock, small
+//! topologies); the default is the standard 30-day hourly portfolio.
+//! Scenario results are bit-identical for every `--threads` setting; only
+//! the per-scenario wall-clock column varies.
+
+use pv_bench::portfolio::{drive, PortfolioOptions};
+use pv_gis::CorpusPreset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    let preset_name = value_of("--preset").unwrap_or("smoke");
+    let Some(preset) = CorpusPreset::from_name(preset_name) else {
+        eprintln!(
+            "Error: unknown preset '{preset_name}' (expected one of {})",
+            CorpusPreset::all().map(|p| p.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let seed = match value_of("--seed") {
+        None => pv_gis::synth::CORPUS_SEED,
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("Error: --seed expects an integer, got '{v}' ({e})");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let runtime = pv_bench::runtime_from_args();
+    let opts = if args.iter().any(|a| a == "--smoke") {
+        PortfolioOptions::smoke(runtime)
+    } else {
+        PortfolioOptions::standard(runtime)
+    };
+
+    if let Err(e) = drive(preset, seed, &opts, value_of("--out")) {
+        eprintln!("Error: writing BENCH_portfolio.json failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 pub mod json;
+pub mod portfolio;
 
 /// The weather seed shared by all experiments (all three roofs are
 /// neighbours and see the same weather, as in the paper).

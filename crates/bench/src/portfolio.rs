@@ -1,0 +1,505 @@
+//! The portfolio runner: fan a [`ScenarioCorpus`] across the parallel
+//! runtime and score every site with the full placer ensemble.
+//!
+//! Each scenario is one *work unit*: extract its solar dataset, pick the
+//! largest topology of a fixed ladder that fits, run the greedy placer,
+//! refine with simulated annealing, and — where the search space is small
+//! enough — compute the exhaustive optimum. All placer runs on a site
+//! share one warm per-anchor [`TraceMemo`], so the annealer and the exact
+//! search start from the traces the greedy evaluation already paid for.
+//!
+//! # Work distribution and determinism
+//!
+//! Scenarios are distributed over [`Runtime`] workers with
+//! [`Runtime::map_chunks`] at granularity 1 — chunk layout and merge
+//! order depend only on the corpus length, never the thread count. Inside
+//! a work unit everything runs on a *sequential* inner runtime (the
+//! parallelism lives at the portfolio level, the natural grain once there
+//! are more scenarios than cores). Scenario results are therefore
+//! **bit-identical on any thread count**; only [`PortfolioRecord::wall_ms`]
+//! (wall-clock, excluded from [`PortfolioRecord::deterministic_line`])
+//! varies run to run.
+//!
+//! The machine-readable artifact `BENCH_portfolio.json` follows the same
+//! schema discipline as `BENCH_evaluator.json` (shared `bench` / `scale` /
+//! `name` core, validated offline by the `check_bench_json` bin).
+
+use crate::json;
+use pv_floorplan::{
+    anneal_with_memo, greedy_placement_with_map, optimal_placement_with_memo, AnnealConfig,
+    EnergyEvaluator, FloorplanConfig, SuitabilityMap, TraceMemo,
+};
+use pv_gis::{CorpusPreset, ScenarioCorpus, SiteScenario};
+use pv_model::Topology;
+use pv_runtime::Runtime;
+use pv_units::SimulationClock;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Topology ladder tried largest-first on every scenario (series ×
+/// strings). The first entry whose compact and greedy placements both fit
+/// the site wins, so big roofs are scored at paper scale while small
+/// generated roofs degrade gracefully instead of failing.
+pub const TOPOLOGY_LADDER: [(usize, usize); 6] = [(8, 2), (4, 2), (4, 1), (2, 2), (2, 1), (1, 1)];
+
+/// Tuning knobs of a portfolio run.
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioOptions {
+    /// Simulation clock every scenario is extracted on.
+    pub clock: SimulationClock,
+    /// Worker pool the corpus is fanned over.
+    pub runtime: Runtime,
+    /// Proposals per annealing chain.
+    pub anneal_iterations: u32,
+    /// Node budget for the exhaustive search; instances whose
+    /// combination count exceeds it record no exact result.
+    pub exact_budget: u64,
+    /// Horizon azimuth sectors for extraction (trade precision for
+    /// speed at smoke scale).
+    pub horizon_sectors: usize,
+    /// Upper bound on modules per scenario (caps [`TOPOLOGY_LADDER`]).
+    pub max_modules: usize,
+}
+
+impl PortfolioOptions {
+    /// Full-fidelity settings on the given worker pool: 30-day hourly
+    /// clock, 64 horizon sectors, 300-proposal chains, paper-scale
+    /// topologies.
+    #[must_use]
+    pub fn standard(runtime: Runtime) -> Self {
+        Self {
+            clock: SimulationClock::days_at_minutes(30, 60),
+            runtime,
+            anneal_iterations: 300,
+            exact_budget: 20_000,
+            horizon_sectors: 64,
+            max_modules: 16,
+        }
+    }
+
+    /// CI-smoke settings: 2-day 2-hour clock, coarse horizon, short
+    /// chains, small topologies. Deterministic like every other setting —
+    /// just cheap.
+    #[must_use]
+    pub fn smoke(runtime: Runtime) -> Self {
+        Self {
+            clock: SimulationClock::days_at_minutes(2, 120),
+            runtime,
+            anneal_iterations: 40,
+            exact_budget: 2_000,
+            horizon_sectors: 16,
+            max_modules: 8,
+        }
+    }
+}
+
+/// One scenario's portfolio result — the unit of `BENCH_portfolio.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioRecord {
+    /// Scenario display name.
+    pub scenario: String,
+    /// Roof archetype name (`paper` for the Table I roofs).
+    pub archetype: String,
+    /// Site latitude, °N.
+    pub latitude_deg: f64,
+    /// Grid dimensions (width, depth) in cells.
+    pub dims: (usize, usize),
+    /// Number of placeable cells (the paper's `Ng`).
+    pub ng: usize,
+    /// Modules per string of the chosen topology (0 when nothing fits).
+    pub series: usize,
+    /// Parallel strings of the chosen topology (0 when nothing fits).
+    pub strings: usize,
+    /// Greedy placement energy over the run clock, Wh.
+    pub greedy_wh: f64,
+    /// Annealed placement energy, Wh (≥ greedy by construction).
+    pub anneal_wh: f64,
+    /// Exhaustive-optimum energy, Wh, where the search was feasible.
+    pub exact_wh: Option<f64>,
+    /// Wall-clock of this scenario's work unit, ms. The only
+    /// non-deterministic field.
+    pub wall_ms: f64,
+}
+
+impl PortfolioRecord {
+    /// Annealing's relative gain over greedy, percent (placer agreement:
+    /// ~0 means the greedy placement was already anneal-optimal).
+    #[must_use]
+    pub fn anneal_gain_percent(&self) -> f64 {
+        if self.greedy_wh <= 0.0 {
+            0.0
+        } else {
+            (self.anneal_wh / self.greedy_wh - 1.0) * 100.0
+        }
+    }
+
+    /// Greedy's optimality gap against the exhaustive optimum, percent,
+    /// where the exact search was feasible.
+    #[must_use]
+    pub fn exact_gap_percent(&self) -> Option<f64> {
+        let exact = self.exact_wh?;
+        if exact <= 0.0 {
+            return Some(0.0);
+        }
+        Some((1.0 - self.greedy_wh / exact) * 100.0)
+    }
+
+    /// The record's deterministic content (everything but `wall_ms`), for
+    /// thread-count-invariance comparisons.
+    #[must_use]
+    pub fn deterministic_line(&self) -> String {
+        format!(
+            "{}|{}|{:?}|{}x{}|{}|{}s{}p|{:?}|{:?}|{:?}",
+            self.scenario,
+            self.archetype,
+            self.latitude_deg,
+            self.dims.0,
+            self.dims.1,
+            self.ng,
+            self.series,
+            self.strings,
+            self.greedy_wh,
+            self.anneal_wh,
+            self.exact_wh,
+        )
+    }
+}
+
+/// Runs the full portfolio: every corpus scenario through extraction,
+/// greedy, anneal and (where feasible) exact, one scenario per work unit
+/// on `opts.runtime` (see the module docs for the distribution scheme).
+///
+/// Records are returned in corpus order regardless of thread count.
+#[must_use]
+pub fn run_portfolio(corpus: &ScenarioCorpus, opts: &PortfolioOptions) -> Vec<PortfolioRecord> {
+    opts.runtime
+        .map_chunks(corpus.len(), 1, |range| {
+            range
+                .map(|i| run_scenario(&corpus.scenarios()[i], opts))
+                .collect::<Vec<_>>()
+        })
+        .concat()
+}
+
+/// Scores one scenario (one portfolio work unit), sequential inside.
+#[must_use]
+pub fn run_scenario(scenario: &SiteScenario, opts: &PortfolioOptions) -> PortfolioRecord {
+    let t0 = Instant::now();
+    let sequential = Runtime::sequential();
+    let dataset = scenario
+        .extractor(opts.clock)
+        .horizon_sectors(opts.horizon_sectors)
+        .runtime(sequential)
+        .extract(&scenario.dsm);
+
+    let (archetype, latitude_deg, seed) = match &scenario.spec {
+        Some(spec) => (
+            spec.archetype.name().to_string(),
+            spec.latitude_deg,
+            spec.seed,
+        ),
+        None => ("paper".to_string(), scenario.site.latitude().value(), 2018),
+    };
+    let mut record = PortfolioRecord {
+        scenario: scenario.name.clone(),
+        archetype,
+        latitude_deg,
+        dims: (dataset.dims().width(), dataset.dims().height()),
+        ng: dataset.valid().count(),
+        series: 0,
+        strings: 0,
+        greedy_wh: 0.0,
+        anneal_wh: 0.0,
+        exact_wh: None,
+        wall_ms: 0.0,
+    };
+
+    // Largest ladder topology whose greedy placement fits this site. The
+    // suitability map depends only on percentile/module/temperature
+    // settings — identical for every ladder entry — so compute it once.
+    let map = {
+        let probe = Topology::new(1, 1).expect("non-empty");
+        let config = FloorplanConfig::paper(probe).expect("paper module fits 20 cm grid");
+        SuitabilityMap::compute(&dataset, &config)
+    };
+    let fitted = TOPOLOGY_LADDER
+        .iter()
+        .filter(|(m, n)| m * n <= opts.max_modules)
+        .find_map(|&(m, n)| {
+            let topology = Topology::new(m, n).expect("ladder entries are non-empty");
+            let config = FloorplanConfig::paper(topology).expect("paper module fits 20 cm grid");
+            let plan = greedy_placement_with_map(&dataset, &config, &map).ok()?;
+            Some((config, plan))
+        });
+    let Some((config, greedy_plan)) = fitted else {
+        record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        return record; // roof too encumbered for even one module
+    };
+    record.series = config.topology().series();
+    record.strings = config.topology().strings();
+
+    // One warm per-anchor memo for every placer run on this site: the
+    // greedy evaluation seeds it, the annealing chain and the exact
+    // search reuse and extend it (PR 3's trace caches, shared across
+    // same-site runs).
+    let memo = TraceMemo::new();
+    let evaluator = EnergyEvaluator::new(&config).with_runtime(sequential);
+    record.greedy_wh = evaluator
+        .context_with_memo(&dataset, &greedy_plan, &memo)
+        .expect("plan sized by construction")
+        .evaluate()
+        .energy
+        .as_wh();
+
+    let params = AnnealConfig {
+        iterations: opts.anneal_iterations,
+        seed,
+        ..AnnealConfig::default()
+    };
+    let (_, anneal_energy) =
+        anneal_with_memo(&dataset, &config, &greedy_plan, params, sequential, &memo)
+            .expect("initial plan is feasible");
+    record.anneal_wh = anneal_energy.as_wh();
+
+    record.exact_wh =
+        optimal_placement_with_memo(&dataset, &config, opts.exact_budget, sequential, &memo)
+            .ok()
+            .map(|(_, energy)| energy.as_wh());
+
+    record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    record
+}
+
+/// Path of the portfolio artifact at the repo root
+/// (`BENCH_portfolio.json`), independent of the invocation directory.
+#[must_use]
+pub fn portfolio_json_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_portfolio.json"
+    ))
+}
+
+/// Renders the `BENCH_portfolio.json` document: a JSON array with one
+/// object per scenario, sharing the `bench`/`scale`/`name` core of
+/// `BENCH_evaluator.json` plus the portfolio measurements. `exact_wh` /
+/// `exact_gap_percent` are omitted where the exhaustive search was
+/// infeasible.
+#[must_use]
+pub fn render_portfolio_json(
+    corpus_name: &str,
+    scale: &str,
+    records: &[PortfolioRecord],
+) -> String {
+    let mut doc = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let exact = match (r.exact_wh, r.exact_gap_percent()) {
+            (Some(wh), Some(gap)) => {
+                format!(", \"exact_wh\": {wh:.3}, \"exact_gap_percent\": {gap:.4}")
+            }
+            _ => String::new(),
+        };
+        doc.push_str(&format!(
+            "  {{\"bench\": \"portfolio:{}\", \"scale\": \"{}\", \"name\": \"{}\", \
+             \"archetype\": \"{}\", \"latitude_deg\": {}, \
+             \"width_cells\": {}, \"depth_cells\": {}, \"ng\": {}, \
+             \"series\": {}, \"strings\": {}, \
+             \"greedy_wh\": {:.3}, \"anneal_wh\": {:.3}, \
+             \"anneal_gain_percent\": {:.4}{}, \"wall_ms\": {:.2}}}{}\n",
+            json::escape(corpus_name),
+            json::escape(scale),
+            json::escape(&r.scenario),
+            json::escape(&r.archetype),
+            r.latitude_deg,
+            r.dims.0,
+            r.dims.1,
+            r.ng,
+            r.series,
+            r.strings,
+            r.greedy_wh,
+            r.anneal_wh,
+            r.anneal_gain_percent(),
+            exact,
+            r.wall_ms,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("]\n");
+    doc
+}
+
+/// Writes `BENCH_portfolio.json` at the repo root (see
+/// [`render_portfolio_json`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_portfolio_records(
+    corpus_name: &str,
+    scale: &str,
+    records: &[PortfolioRecord],
+) -> std::io::Result<PathBuf> {
+    let path = portfolio_json_path();
+    std::fs::write(&path, render_portfolio_json(corpus_name, scale, records))?;
+    Ok(path)
+}
+
+/// The shared front-end driver behind the `portfolio` bin and
+/// `pvplan suite`: builds the preset corpus, runs the portfolio, prints
+/// the summary table, and writes the artifact — to `out` when given,
+/// otherwise to [`portfolio_json_path`]. Returns the written path.
+///
+/// Keeping this in one place pins the `scale` string and the
+/// run-format-write sequence, so both entry points always emit the same
+/// `BENCH_portfolio.json` shape.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the artifact.
+pub fn drive(
+    preset: CorpusPreset,
+    seed: u64,
+    opts: &PortfolioOptions,
+    out: Option<&str>,
+) -> std::io::Result<PathBuf> {
+    eprintln!(
+        "portfolio: preset {preset} (seed {seed}), {} scenario(s), {} steps, {} thread(s)...",
+        preset.scenario_count(),
+        opts.clock.num_steps(),
+        opts.runtime.threads()
+    );
+    let t0 = Instant::now();
+    let corpus = ScenarioCorpus::preset_with_seed(preset, seed);
+    let records = run_portfolio(&corpus, opts);
+    print!("{}", format_table(&records));
+    let total: f64 = records.iter().map(|r| r.greedy_wh).sum();
+    println!(
+        "{} scenario(s), total greedy energy {:.1} Wh, {:.2} s wall",
+        records.len(),
+        total,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let scale = format!(
+        "{} preset, {} steps, seed {}",
+        preset,
+        opts.clock.num_steps(),
+        seed
+    );
+    let path = match out {
+        Some(path) => std::fs::write(path, render_portfolio_json(corpus.name(), &scale, &records))
+            .map(|()| PathBuf::from(path))?,
+        None => write_portfolio_records(corpus.name(), &scale, &records)?,
+    };
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
+/// Formats the human-readable portfolio summary table printed by the
+/// harness binaries.
+#[must_use]
+pub fn format_table(records: &[PortfolioRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>7} {:>6} {:>12} {:>12} {:>8} {:>8}\n",
+        "scenario", "archetype", "lat", "Ng", "greedy Wh", "anneal Wh", "gain %", "ms"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>7.1} {:>6} {:>12.1} {:>12.1} {:>8.3} {:>8.1}\n",
+            r.scenario,
+            r.archetype,
+            r.latitude_deg,
+            r.ng,
+            r.greedy_wh,
+            r.anneal_wh,
+            r.anneal_gain_percent(),
+            r.wall_ms,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_gis::synth::ScenarioSpec;
+
+    fn tiny_options(threads: usize) -> PortfolioOptions {
+        PortfolioOptions {
+            clock: SimulationClock::days_at_minutes(1, 240),
+            runtime: Runtime::with_threads(threads),
+            anneal_iterations: 6,
+            exact_budget: 200,
+            horizon_sectors: 8,
+            max_modules: 4,
+        }
+    }
+
+    #[test]
+    fn single_scenario_scores_positive_energy() {
+        let scenario = ScenarioSpec::generate(2018, 1).build();
+        let record = run_scenario(&scenario, &tiny_options(1));
+        assert!(record.ng > 0);
+        assert!(record.series * record.strings > 0, "ladder found no fit");
+        assert!(record.greedy_wh > 0.0);
+        assert!(record.anneal_wh >= record.greedy_wh - 1e-9);
+        assert!(record.wall_ms > 0.0);
+    }
+
+    #[test]
+    fn portfolio_records_keep_corpus_order_across_thread_counts() {
+        let corpus = ScenarioCorpus::generate("t", 99, 3);
+        let seq = run_portfolio(&corpus, &tiny_options(1));
+        let par = run_portfolio(&corpus, &tiny_options(3));
+        assert_eq!(seq.len(), 3);
+        let lines = |rs: &[PortfolioRecord]| {
+            rs.iter()
+                .map(PortfolioRecord::deterministic_line)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&seq), lines(&par));
+        for (r, s) in seq.iter().zip(corpus.scenarios()) {
+            assert_eq!(r.scenario, s.name);
+        }
+    }
+
+    #[test]
+    fn exact_search_fires_on_a_tiny_site_and_bounds_greedy() {
+        use pv_gis::{RoofBuilder, Site, SiteScenario, WeatherGenerator};
+        use pv_units::Meters;
+        // A roof barely larger than two module footprints: few candidate
+        // anchors, so C(candidates, 2) fits the node budget.
+        let scenario = SiteScenario {
+            name: "tiny".into(),
+            spec: None,
+            dsm: RoofBuilder::new(Meters::new(3.6), Meters::new(1.2)).build(),
+            site: Site::turin(),
+            weather: WeatherGenerator::new(7),
+        };
+        let mut opts = tiny_options(1);
+        opts.max_modules = 2;
+        opts.exact_budget = 100_000;
+        let record = run_scenario(&scenario, &opts);
+        assert_eq!((record.series, record.strings), (2, 1));
+        let exact = record.exact_wh.expect("exhaustive search fits the budget");
+        assert!(exact >= record.greedy_wh - 1e-9, "exact is an upper bound");
+        assert!(record.exact_gap_percent().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn rendered_json_parses_and_carries_the_shared_core() {
+        let corpus = ScenarioCorpus::generate("t", 5, 1);
+        let records = run_portfolio(&corpus, &tiny_options(1));
+        let doc = render_portfolio_json("t", "tiny", &records);
+        let parsed = json::parse(&doc).expect("valid JSON");
+        let items = parsed.as_array().unwrap();
+        assert_eq!(items.len(), 1);
+        let item = &items[0];
+        assert_eq!(item.get("bench").unwrap().as_str(), Some("portfolio:t"));
+        assert_eq!(item.get("scale").unwrap().as_str(), Some("tiny"));
+        assert!(item.get("name").unwrap().as_str().is_some());
+        assert!(item.get("greedy_wh").unwrap().as_number().unwrap() >= 0.0);
+        assert!(item.get("wall_ms").unwrap().as_number().unwrap() >= 0.0);
+    }
+}

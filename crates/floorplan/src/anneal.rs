@@ -99,6 +99,28 @@ pub fn anneal_with_runtime(
     params: AnnealConfig,
     runtime: pv_runtime::Runtime,
 ) -> Result<(FloorplanResult, WattHours), FloorplanError> {
+    anneal_with_memo(dataset, config, initial, params, runtime, &TraceMemo::new())
+}
+
+/// [`anneal_with_runtime`] sharing a caller-owned per-anchor [`TraceMemo`]:
+/// anchors already traced by an earlier run on the *same*
+/// `(dataset, config)` pair — a prior greedy evaluation, another placer,
+/// an earlier chain — are lookups instead of kernel passes, and the
+/// anchors this chain visits are published back for whoever runs next.
+/// Memo hits are bit-identical to recomputation, so sharing never changes
+/// the result.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (e.g. a size-mismatched initial plan).
+pub fn anneal_with_memo(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    initial: &FloorplanResult,
+    params: AnnealConfig,
+    runtime: pv_runtime::Runtime,
+    memo: &TraceMemo,
+) -> Result<(FloorplanResult, WattHours), FloorplanError> {
     let evaluator = EnergyEvaluator::new(config).with_runtime(runtime);
     let footprint = config.footprint();
     let mut rng = StdRng::seed_from_u64(params.seed);
@@ -125,8 +147,7 @@ pub fn anneal_with_runtime(
     // modules. Rejected proposals roll back from the undo buffer (no
     // second irradiance recompute) and the per-anchor memo turns revisited
     // proposal anchors into lookups.
-    let memo = TraceMemo::new();
-    let mut ctx = evaluator.context_with_memo(dataset, initial, &memo)?;
+    let mut ctx = evaluator.context_with_memo(dataset, initial, memo)?;
     let mut current_energy = ctx.evaluate().energy;
     let mut best_anchors = ctx.anchors();
     let mut best_energy = current_energy;

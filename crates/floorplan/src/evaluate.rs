@@ -123,6 +123,29 @@ impl EnergyReport {
 /// reached, further anchors are simply recomputed instead of cached —
 /// results are unaffected (a trace is the same bytes either way), only
 /// the hit rate degrades.
+///
+/// ```
+/// use pv_floorplan::{greedy_placement, EnergyEvaluator, FloorplanConfig, TraceMemo};
+/// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+/// use pv_model::Topology;
+/// use pv_units::{Meters, SimulationClock};
+///
+/// let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+/// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+///     .extract(&roof);
+/// let config = FloorplanConfig::paper(Topology::new(2, 1)?)?;
+/// let plan = greedy_placement(&data, &config)?;
+/// let evaluator = EnergyEvaluator::new(&config);
+///
+/// let memo = TraceMemo::new();
+/// let first = evaluator.context_with_memo(&data, &plan, &memo)?.evaluate();
+/// assert_eq!(memo.len(), 2); // both module anchors published
+/// // A second context on the same (dataset, config) pair starts warm —
+/// // and memo hits are bit-identical to recomputation.
+/// let second = evaluator.context_with_memo(&data, &plan, &memo)?.evaluate();
+/// assert_eq!(first, second);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct TraceMemo {
     anchors: Mutex<BTreeMap<CellCoord, Arc<[f64]>>>,
@@ -307,6 +330,52 @@ struct PendingMove {
 /// the previous state from the undo buffer without touching the kernel.
 /// [`evaluate`](Self::evaluate) re-scores from the caches and is
 /// bit-identical to the from-scratch [`evaluate_cold`](Self::evaluate_cold).
+///
+/// # The try/commit/rollback contract
+///
+/// A search loop drives the context through proposals:
+///
+/// 1. [`try_move`](Self::try_move) — propose relocating one module; on
+///    `Ok` the context scores the *proposed* state and holds the
+///    displaced state in an undo buffer. At most one proposal is pending.
+/// 2. [`evaluate`](Self::evaluate) — re-score from the caches
+///    (`O(steps)`, no irradiance or module-model code).
+/// 3. [`commit_move`](Self::commit_move) to accept, or
+///    [`rollback_move`](Self::rollback_move) to reject — rollback swaps
+///    the old state back **without recomputation**, and the context is
+///    bit-identical to one that never proposed.
+///
+/// ```
+/// use pv_floorplan::{greedy_placement, EnergyEvaluator, FloorplanConfig, SuitabilityMap};
+/// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+/// use pv_model::Topology;
+/// use pv_units::{Meters, SimulationClock};
+///
+/// let roof = RoofBuilder::new(Meters::new(6.0), Meters::new(2.0)).build();
+/// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+///     .extract(&roof);
+/// let config = FloorplanConfig::paper(Topology::new(2, 1)?)?;
+/// let plan = greedy_placement(&data, &config)?;
+/// let mut ctx = EnergyEvaluator::new(&config).context(&data, &plan)?;
+/// let baseline = ctx.evaluate();
+///
+/// // Propose moving module 0 to the first feasible free anchor.
+/// let map = SuitabilityMap::compute(&data, &config);
+/// let proposed = map
+///     .anchor_scores(config.footprint())
+///     .enumerate()
+///     .filter(|(_, s)| s.is_finite())
+///     .find_map(|(a, _)| ctx.try_move(0, a).ok().map(|old| (a, old)));
+/// let (new_anchor, old_anchor) = proposed.expect("roof has free anchors");
+/// assert_eq!(ctx.anchors()[0], new_anchor);
+///
+/// // Reject it: state and score roll back bit-identically, for free.
+/// ctx.rollback_move();
+/// assert_eq!(ctx.anchors()[0], old_anchor);
+/// let restored = ctx.evaluate();
+/// assert_eq!(restored.energy.as_wh().to_bits(), baseline.energy.as_wh().to_bits());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct EvaluationContext<'d> {
     dataset: &'d SolarDataset,
@@ -618,6 +687,29 @@ impl<'d> EvaluationContext<'d> {
     /// recomputed for **all** modules at every call), kept as the
     /// benchmark baseline and the bit-identity anchor for
     /// [`evaluate`](Self::evaluate).
+    ///
+    /// The incremental and cold paths perform the same floating-point
+    /// operations in the same fixed chunk order, so their reports agree
+    /// to the last bit — after any sequence of moves, on any thread count:
+    ///
+    /// ```
+    /// use pv_floorplan::{greedy_placement, EnergyEvaluator, FloorplanConfig};
+    /// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+    /// use pv_model::Topology;
+    /// use pv_units::{Meters, SimulationClock};
+    ///
+    /// let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+    /// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+    ///     .extract(&roof);
+    /// let config = FloorplanConfig::paper(Topology::new(2, 1)?)?;
+    /// let plan = greedy_placement(&data, &config)?;
+    /// let ctx = EnergyEvaluator::new(&config).context(&data, &plan)?;
+    /// let warm = ctx.evaluate();
+    /// let cold = ctx.evaluate_cold();
+    /// assert_eq!(warm.energy.as_wh().to_bits(), cold.energy.as_wh().to_bits());
+    /// assert_eq!(warm, cold);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     #[must_use]
     pub fn evaluate_cold(&self) -> EnergyReport {
         let module = self.config.module();

@@ -64,6 +64,25 @@ pub fn optimal_placement_with_runtime(
     node_budget: u64,
     runtime: Runtime,
 ) -> Result<(FloorplanResult, pv_units::WattHours), FloorplanError> {
+    optimal_placement_with_memo(dataset, config, node_budget, runtime, &TraceMemo::new())
+}
+
+/// [`optimal_placement_with_runtime`] sharing a caller-owned per-anchor
+/// [`TraceMemo`]: anchors already traced by an earlier run on the *same*
+/// `(dataset, config)` pair (a greedy evaluation, an annealing chain) are
+/// lookups instead of kernel passes. Memo hits are bit-identical to
+/// recomputation, so sharing never changes the result.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_placement`].
+pub fn optimal_placement_with_memo(
+    dataset: &SolarDataset,
+    config: &FloorplanConfig,
+    node_budget: u64,
+    runtime: Runtime,
+    memo: &TraceMemo,
+) -> Result<(FloorplanResult, pv_units::WattHours), FloorplanError> {
     let footprint = config.footprint();
     let topology = config.topology();
     let n_modules = topology.num_modules();
@@ -98,7 +117,6 @@ pub fn optimal_placement_with_runtime(
     // per-module trace is a lookup (memo hits are bit-identical to
     // recomputation, so the merge order above still decides ties).
     let leaf_evaluator = EnergyEvaluator::new(config).with_runtime(Runtime::sequential());
-    let memo = TraceMemo::new();
 
     // Depth-first enumeration of anchor combinations in index order.
     #[allow(clippy::too_many_arguments)]
@@ -163,7 +181,7 @@ pub fn optimal_placement_with_runtime(
                     dataset,
                     config,
                     &leaf_evaluator,
-                    &memo,
+                    memo,
                     &mut best,
                 );
                 chosen.pop();

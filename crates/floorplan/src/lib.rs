@@ -14,7 +14,7 @@
 //!   contiguous block by the same suitability information;
 //! - [`EnergyEvaluator`] — yearly-energy evaluation of any placement with
 //!   the series/parallel bottleneck equations and wiring RI² losses;
-//! - [`exact`] / [`anneal`] — an exhaustive optimum for tiny instances and
+//! - [`exact`] / [`mod@anneal`] — an exhaustive optimum for tiny instances and
 //!   a simulated-annealing refiner (extensions used for ablations);
 //! - [`render`] — ASCII / PGM rendering of suitability maps and placements
 //!   (Figs. 6-7).
@@ -52,9 +52,11 @@ mod report;
 mod suitability;
 mod traditional;
 
+pub use anneal::{anneal, anneal_with_memo, AnnealConfig};
 pub use config::FloorplanConfig;
 pub use error::FloorplanError;
 pub use evaluate::{EnergyEvaluator, EnergyReport, EvaluationContext, TraceMemo};
+pub use exact::{optimal_placement, optimal_placement_with_memo};
 pub use greedy::{greedy_placement, greedy_placement_with_map, FloorplanResult};
 pub use report::{ComparisonRow, Table1Report};
 pub use suitability::SuitabilityMap;

@@ -1,4 +1,23 @@
 //! Table I-style reporting for experiment harnesses.
+//!
+//! ```
+//! use pv_floorplan::{ComparisonRow, Table1Report};
+//! use pv_units::WattHours;
+//! let mut report = Table1Report::new();
+//! report.push(ComparisonRow {
+//!     label: "Roof 1".into(),
+//!     dims: (287, 51),
+//!     ng: 9_416,
+//!     n_modules: 16,
+//!     traditional: WattHours::from_mwh(3.430),
+//!     proposed: WattHours::from_mwh(4.094),
+//!     published_gain_percent: Some(19.37),
+//! });
+//! let table = report.to_string();
+//! assert!(table.contains("Roof 1"));
+//! assert!(table.contains("+19.36")); // measured gain ...
+//! assert!(table.contains("+19.37")); // ... beside the published one
+//! ```
 
 use pv_units::WattHours;
 

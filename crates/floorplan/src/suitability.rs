@@ -16,6 +16,29 @@ use pv_units::Celsius;
 /// were derived from (Fig. 6-(b) material).
 ///
 /// Invalid cells (outside the suitable area) carry `NaN`.
+///
+/// ```
+/// use pv_floorplan::{FloorplanConfig, SuitabilityMap};
+/// use pv_gis::{Obstacle, RoofBuilder, SolarExtractor, Site};
+/// use pv_model::Topology;
+/// use pv_units::{Meters, SimulationClock};
+///
+/// let roof = RoofBuilder::new(Meters::new(6.0), Meters::new(3.0))
+///     .obstacle(Obstacle::chimney(Meters::new(2.0), Meters::new(1.0),
+///                                 Meters::new(0.6), Meters::new(0.6),
+///                                 Meters::new(1.5)))
+///     .build();
+/// let data = SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(2, 120))
+///     .extract(&roof);
+/// let config = FloorplanConfig::paper(Topology::new(2, 1)?)?;
+/// let map = SuitabilityMap::compute(&data, &config);
+/// // Valid cells score finite and positive; the chimney's cells are NaN.
+/// let clear = pv_geom::CellCoord::new(1, 1);
+/// let blocked = pv_geom::CellCoord::new(11, 6); // inside the chimney
+/// assert!(map.score(clear) > 0.0);
+/// assert!(map.score(blocked).is_nan());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Clone, Debug)]
 pub struct SuitabilityMap {
     scores: Grid<f64>,

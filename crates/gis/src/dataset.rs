@@ -38,6 +38,28 @@ pub struct StepConditions {
 /// floorplanner via [`irradiance`](Self::irradiance) /
 /// [`temperature`](Self::temperature) or the streaming
 /// [`cell_view`](Self::cell_view).
+///
+/// ```
+/// use pv_geom::CellCoord;
+/// use pv_gis::{RoofBuilder, SolarExtractor, Site};
+/// use pv_units::{Meters, SimulationClock};
+///
+/// let roof = RoofBuilder::new(Meters::new(4.0), Meters::new(2.0)).build();
+/// let clock = SimulationClock::days_at_minutes(2, 120);
+/// let data = SolarExtractor::new(Site::turin(), clock).seed(7).extract(&roof);
+/// assert_eq!(data.num_steps(), 24);
+/// assert_eq!(data.valid().count(), 20 * 10);
+///
+/// // Point queries and the streaming per-cell view agree.
+/// let cell = CellCoord::new(3, 3);
+/// let lit = (0..data.num_steps())
+///     .find(|&i| data.conditions(i).sun_up)
+///     .expect("the sun rises within two days");
+/// let (g, t) = data.cell_view(cell).nth(lit as usize).unwrap();
+/// assert_eq!(g, data.irradiance(cell, lit));
+/// assert_eq!(t, data.temperature(cell, lit));
+/// assert!(g.as_w_per_m2() > 0.0);
+/// ```
 #[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SolarDataset {

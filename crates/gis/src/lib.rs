@@ -26,6 +26,11 @@
 //! 8. [`SolarDataset`] — the assembled per-cell, per-step irradiance and
 //!    temperature database consumed by the floorplanner.
 //!
+//! Beyond the paper's three roofs, the [`synth`] module procedurally
+//! generates whole corpora of diverse sites ([`ScenarioCorpus`]) — seeded,
+//! deterministic, and expressed through the same builder APIs — for
+//! portfolio-scale evaluation.
+//!
 //! # Example
 //!
 //! ```
@@ -61,6 +66,7 @@ mod obstacle;
 mod scenario;
 mod site;
 mod sunpos;
+pub mod synth;
 pub mod transposition;
 mod weather;
 
@@ -74,4 +80,5 @@ pub use obstacle::{Obstacle, ObstacleKind};
 pub use scenario::{paper_roofs, PaperRoof, RoofScenario};
 pub use site::Site;
 pub use sunpos::{solar_position, LocalSun, SolarPosition};
+pub use synth::{CorpusPreset, ScenarioCorpus, ScenarioSpec, SiteScenario};
 pub use weather::{SkyState, WeatherGenerator, WeatherSample};

@@ -14,6 +14,17 @@ use pv_geom::GridDims;
 use pv_units::{Degrees, Meters, WattHours};
 
 /// Identifier of one of the paper's three experimental roofs.
+///
+/// ```
+/// use pv_gis::{PaperRoof, RoofScenario};
+/// // Table I's published figures are queryable per roof and module count…
+/// let gain = PaperRoof::Roof2.published_gain_percent(32).unwrap();
+/// assert!((gain - 23.63).abs() < 1e-9);
+/// // …and the synthetic reconstruction matches the published grid.
+/// let scenario = RoofScenario::build(PaperRoof::Roof2);
+/// assert_eq!(scenario.dsm.dims(), PaperRoof::Roof2.published_dims());
+/// assert!(scenario.ng_deviation() < 0.03);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PaperRoof {

@@ -164,6 +164,18 @@ impl Runtime {
     /// without a per-chunk allocation. Chunks are statically distributed
     /// round-robin over the workers.
     ///
+    /// ```
+    /// use pv_runtime::Runtime;
+    /// let mut data = vec![0u32; 7];
+    /// Runtime::with_threads(3).for_each_chunk_mut(&mut data, 3, |chunk_idx, chunk| {
+    ///     for (off, x) in chunk.iter_mut().enumerate() {
+    ///         *x = (chunk_idx * 10 + off) as u32;
+    ///     }
+    /// });
+    /// // Chunk layout depends only on (len, granularity), never threads.
+    /// assert_eq!(data, [0, 1, 2, 10, 11, 12, 20]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `granularity` is zero, or if a worker thread panics

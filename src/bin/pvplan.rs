@@ -8,14 +8,46 @@
 //! pvplan --width 12 --depth 5 --tilt 26 --azimuth 195 \
 //!        --series 4 --strings 2 [--days 365] [--step 60] [--seed 42]
 //!        [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
+//! pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
+//!        [--threads N] [--full] [--out PATH]
 //! ```
+//!
+//! `pvplan suite` runs the scenario-corpus portfolio: every site of a
+//! preset through extraction, greedy, anneal and (where feasible) the
+//! exhaustive optimum, fanned over the parallel runtime, writing the
+//! machine-readable `BENCH_portfolio.json`.
 //!
 //! `--threads N` (or the `PV_THREADS` environment variable) sets the
 //! worker count for solar extraction and energy evaluation; the default is
 //! the machine's parallelism. Results are identical for every setting.
 
+use pv_bench::portfolio::{drive, PortfolioOptions};
 use pvfloorplan::floorplan::{greedy_placement_with_map, render, traditional_placement_with_map};
+use pvfloorplan::gis::synth::{CorpusPreset, CORPUS_SEED};
 use pvfloorplan::prelude::*;
+
+/// The `--help` text, pinned by a unit test so the documented environment
+/// variable and every subcommand stay in sync with the implementation.
+const HELP: &str = "\
+pvplan — GIS-based optimal PV panel floorplanning
+
+USAGE:
+  pvplan --width M --depth M [--tilt DEG] [--azimuth DEG]
+         [--series N] [--strings N] [--days D] [--step MIN] [--seed S]
+         [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
+  pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
+         [--threads N] [--full] [--out PATH]
+
+The `suite` subcommand fans a scenario-corpus preset across the parallel
+runtime (greedy + anneal + exact-where-feasible per site) and writes
+BENCH_portfolio.json.
+
+THREADING:
+  --threads N            worker count for extraction/evaluation/portfolio
+  PV_THREADS=N           environment fallback when --threads is absent
+  (default: the machine's available parallelism; results are bit-identical
+  for every setting)
+";
 
 struct Args {
     width: f64,
@@ -97,11 +129,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                println!(
-                    "pvplan --width M --depth M [--tilt DEG] [--azimuth DEG] \
-                     [--series N] [--strings N] [--days D] [--step MIN] [--seed S] \
-                     [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]..."
-                );
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -131,7 +159,62 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parses and runs the `suite` subcommand (everything after `suite`).
+fn run_suite(args: &[String]) -> Result<(), String> {
+    let mut preset = CorpusPreset::Smoke;
+    let mut seed = CORPUS_SEED;
+    let mut threads: Option<usize> = None;
+    let mut full = false;
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--preset" => {
+                let name = value("--preset")?;
+                preset = CorpusPreset::from_name(name)
+                    .ok_or_else(|| format!("unknown preset '{name}' (try smoke)"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                let spec = value("--threads")?;
+                threads = Some(pvfloorplan::runtime::parse_threads(spec).ok_or_else(|| {
+                    format!("--threads expects a positive integer, got '{spec}'")
+                })?);
+            }
+            "--full" => full = true,
+            "--out" => out = Some(value("--out")?.clone()),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown suite flag '{other}' (try --help)")),
+        }
+    }
+
+    let runtime = threads.map_or_else(Runtime::from_env, Runtime::with_threads);
+    let opts = if full {
+        PortfolioOptions::standard(runtime)
+    } else {
+        PortfolioOptions::smoke(runtime)
+    };
+    drive(preset, seed, &opts, out.as_deref())
+        .map(|_| ())
+        .map_err(|e| format!("writing BENCH_portfolio.json: {e}"))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli: Vec<String> = std::env::args().collect();
+    if cli.get(1).map(String::as_str) == Some("suite") {
+        return run_suite(&cli[2..]).map_err(|e| -> Box<dyn std::error::Error> { e.into() });
+    }
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
 
     let mut builder = RoofBuilder::new(Meters::new(args.width), Meters::new(args.depth))
@@ -204,4 +287,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", render::ascii_placement(&plan, data.valid(), 90));
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::HELP;
+
+    /// Every flag the two parsers accept, by subcommand. Adding a flag to
+    /// `parse_args`/`run_suite` without listing it here (and in `HELP`)
+    /// fails the pin below.
+    const MAIN_FLAGS: &[&str] = &[
+        "--width",
+        "--depth",
+        "--tilt",
+        "--azimuth",
+        "--series",
+        "--strings",
+        "--days",
+        "--step",
+        "--seed",
+        "--threads",
+        "--portrait",
+        "--chimney",
+        "--hvac",
+    ];
+    const SUITE_FLAGS: &[&str] = &["--preset", "--seed", "--threads", "--full", "--out"];
+
+    #[test]
+    fn help_documents_pv_threads_env_var() {
+        assert!(
+            HELP.contains(pvfloorplan::runtime::THREADS_ENV),
+            "--help must document the {} environment variable",
+            pvfloorplan::runtime::THREADS_ENV
+        );
+        // ... next to the flag that overrides it and the determinism note.
+        assert!(HELP.contains("--threads N"));
+        assert!(HELP.contains("bit-identical"));
+    }
+
+    #[test]
+    fn help_documents_every_flag_and_subcommand() {
+        for flag in MAIN_FLAGS.iter().chain(SUITE_FLAGS) {
+            assert!(HELP.contains(flag), "--help is missing {flag}");
+        }
+        assert!(HELP.contains("pvplan suite"));
+        for preset in pvfloorplan::gis::synth::CorpusPreset::all() {
+            assert!(HELP.contains(preset.name()), "missing preset {preset}");
+        }
+    }
 }

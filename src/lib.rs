@@ -90,8 +90,8 @@ pub mod prelude {
     };
     pub use pv_geom::{CellCoord, CellMask, Footprint, Grid, GridDims, Placement, Polygon};
     pub use pv_gis::{
-        paper_roofs, Obstacle, PaperRoof, RoofBuilder, RoofScenario, Site, SolarDataset,
-        SolarExtractor, WeatherGenerator,
+        paper_roofs, CorpusPreset, Obstacle, PaperRoof, RoofBuilder, RoofScenario, ScenarioCorpus,
+        ScenarioSpec, Site, SiteScenario, SolarDataset, SolarExtractor, WeatherGenerator,
     };
     pub use pv_model::{
         panel_output, EmpiricalModule, ModuleModel, SingleDiodeModule, Topology, WiringSpec,

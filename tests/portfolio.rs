@@ -1,0 +1,75 @@
+//! End-to-end acceptance test of the scenario corpus + portfolio runner:
+//! the `diverse64` preset runs to completion through `run_portfolio`, its
+//! scenario results are bit-identical at 1 and 4 threads, and the corpus
+//! actually is diverse (all four roof archetypes at low/mid/high
+//! latitudes).
+//!
+//! Runs at a deliberately tiny clock/horizon resolution so the full
+//! 64-scenario sweep stays cheap in debug builds; determinism and
+//! coverage are resolution-independent.
+
+use pv_bench::portfolio::{run_portfolio, PortfolioOptions, PortfolioRecord};
+use pvfloorplan::gis::synth::LATITUDE_BANDS;
+use pvfloorplan::prelude::*;
+use std::collections::BTreeSet;
+
+fn tiny_options(threads: usize) -> PortfolioOptions {
+    PortfolioOptions {
+        clock: SimulationClock::days_at_minutes(1, 240),
+        runtime: Runtime::with_threads(threads),
+        anneal_iterations: 4,
+        exact_budget: 200,
+        horizon_sectors: 8,
+        max_modules: 4,
+    }
+}
+
+#[test]
+fn diverse64_is_thread_count_invariant_and_diverse() {
+    let corpus = ScenarioCorpus::preset(CorpusPreset::Diverse64);
+    assert_eq!(corpus.len(), 64);
+
+    let seq = run_portfolio(&corpus, &tiny_options(1));
+    let par = run_portfolio(&corpus, &tiny_options(4));
+    assert_eq!(seq.len(), 64, "diverse64 must run to completion");
+
+    // Scenario results (everything but wall-clock) are bit-identical on
+    // any thread count — the workspace determinism guarantee extended to
+    // whole-portfolio scale.
+    let lines = |rs: &[PortfolioRecord]| {
+        rs.iter()
+            .map(PortfolioRecord::deterministic_line)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(lines(&seq), lines(&par));
+
+    // Every scenario produced a real site and a real placement score.
+    for record in &seq {
+        assert!(record.ng > 0, "{}: no placeable cells", record.scenario);
+        assert!(
+            record.series * record.strings > 0,
+            "{}: topology ladder found no fit",
+            record.scenario
+        );
+        assert!(record.greedy_wh > 0.0, "{}", record.scenario);
+        assert!(
+            record.anneal_wh >= record.greedy_wh - 1e-9,
+            "{}: anneal regressed below its greedy start",
+            record.scenario
+        );
+    }
+
+    // Diversity floor: at least 4 distinct archetypes × 3 latitude bands.
+    let mut archetypes = BTreeSet::new();
+    let mut pairs = BTreeSet::new();
+    for record in &seq {
+        let band = LATITUDE_BANDS
+            .iter()
+            .position(|&(lo, hi)| (lo..=hi).contains(&record.latitude_deg))
+            .expect("latitude inside a band");
+        archetypes.insert(record.archetype.clone());
+        pairs.insert((record.archetype.clone(), band));
+    }
+    assert!(archetypes.len() >= 4, "archetypes seen: {archetypes:?}");
+    assert_eq!(pairs.len(), 12, "4 archetypes x 3 bands: {pairs:?}");
+}
