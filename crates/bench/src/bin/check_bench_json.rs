@@ -1,10 +1,10 @@
 //! CI guard for the machine-readable bench artifacts.
 //!
 //! Validates that a bench artifact — `BENCH_evaluator.json` (written by
-//! the `evaluator_throughput` bench and `diag --timings`) or
+//! the `evaluator_throughput` bench and `diag --timings`),
 //! `BENCH_portfolio.json` (written by the `portfolio` bin and
-//! `pvplan suite`) — exists and matches the schema the perf-trajectory
-//! tooling expects: a non-empty JSON array of objects, each carrying the
+//! `pvplan suite`) or `BENCH_server.json` (written by the `loadgen` bin)
+//! — exists and matches the schema the perf-trajectory tooling expects: a non-empty JSON array of objects, each carrying the
 //! shared string core (`bench`, `scale`, `name`) plus its variant's
 //! numeric measurements, all finite and non-negative. Exits non-zero with
 //! a diagnostic otherwise — keeping the artifacts honest and fully
@@ -44,10 +44,22 @@ fn validate(doc: &str) -> Result<usize, String> {
                 .filter(|s| !s.is_empty())
                 .ok_or(format!("record {i}: missing or empty string field {key:?}"))?;
         }
-        // Variant fields: evaluator-throughput vs portfolio records.
+        // Variant fields: evaluator-throughput vs server-loadgen vs
+        // portfolio records.
         if item.get("ns_per_eval").is_some() {
             for key in ["ns_per_eval", "speedup_vs_cold"] {
                 check_number(item, i, key)?;
+            }
+        } else if item.get("rps").is_some() {
+            for key in ["requests", "rps", "p50_ms", "p99_ms", "cache_hit_rate"] {
+                check_number(item, i, key)?;
+            }
+            let rate = item
+                .get("cache_hit_rate")
+                .and_then(JsonValue::as_number)
+                .expect("checked just above");
+            if rate > 1.0 {
+                return Err(format!("record {i}: cache_hit_rate {rate} exceeds 1"));
             }
         } else if item.get("greedy_wh").is_some() {
             for key in [
@@ -86,8 +98,8 @@ fn validate(doc: &str) -> Result<usize, String> {
                 ))?;
         } else {
             return Err(format!(
-                "record {i}: neither an evaluator record (ns_per_eval) nor \
-                 a portfolio record (greedy_wh)"
+                "record {i}: not an evaluator (ns_per_eval), server (rps) \
+                 or portfolio (greedy_wh) record"
             ));
         }
     }
@@ -152,9 +164,24 @@ mod tests {
         "anneal_gain_percent": 1.25, "exact_wh": 1260.0,
         "exact_gap_percent": 2.02, "wall_ms": 17.3}]"#;
 
+    const GOOD_SERVER: &str = r#"[{"bench": "server_loadgen",
+        "scale": "8 sites, 4 clients, seed 2018, smoke clock",
+        "name": "warm_mix", "requests": 200, "rps": 312.5,
+        "p50_ms": 2.1, "p99_ms": 9.8, "cache_hit_rate": 0.96}]"#;
+
     #[test]
     fn accepts_the_evaluator_writer_schema() {
         assert_eq!(validate(GOOD), Ok(1));
+    }
+
+    #[test]
+    fn accepts_the_server_loadgen_schema() {
+        assert_eq!(validate(GOOD_SERVER), Ok(1));
+        // A hit rate is a rate: > 1 is a broken measurement.
+        let bad = GOOD_SERVER.replace("0.96", "1.5");
+        assert!(validate(&bad).unwrap_err().contains("cache_hit_rate"));
+        let missing = GOOD_SERVER.replace(r#""p99_ms": 9.8,"#, "");
+        assert!(validate(&missing).is_err());
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Load generator for the placement service: replays a corpus-derived
+//! request mix over **real TCP** and writes the machine-readable
+//! `BENCH_server.json` (throughput, latency percentiles, cache hit rate).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pv_bench --bin loadgen -- \
+//!     [--addr HOST:PORT | --spawn] [--requests N] [--clients C] \
+//!     [--sites K] [--seed S] [--threads N] [--out PATH]
+//! ```
+//!
+//! With `--spawn` (the default when `--addr` is absent) an in-process
+//! [`pv_server::Server`] is started on an ephemeral port at CI-smoke
+//! scale and shut down after the run — the traffic still crosses a real
+//! socket, so the measurement includes the full HTTP path.
+//!
+//! The mix has two phases, and the artifact one record per phase:
+//!
+//! 1. **cold** — one request per site, sequential: every request misses
+//!    the per-site cache and pays extraction.
+//! 2. **warm_mix** — `N` requests from `C` concurrent client threads
+//!    cycling through the same `K` sites: every request hits the warm
+//!    cache. The cold-vs-warm p50 gap is the cache's measured value.
+//!
+//! Bad flags exit 1 with an `Error:` message, never a panic.
+
+use pv_bench::json;
+use pv_gis::ScenarioSpec;
+use pv_runtime::Runtime;
+use pv_server::http::send_request;
+use pv_server::{PlacementService, Server, ServiceConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LoadgenArgs {
+    addr: Option<String>,
+    requests: usize,
+    clients: usize,
+    sites: usize,
+    seed: u64,
+    threads: usize,
+    out: Option<String>,
+}
+
+/// Parses the harness flags. Pure — no I/O, no exits — so the error
+/// paths are unit-testable.
+fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
+    let mut parsed = LoadgenArgs {
+        addr: None,
+        requests: 200,
+        clients: 4,
+        sites: 8,
+        seed: pv_gis::synth::CORPUS_SEED,
+        threads: 2,
+        out: None,
+    };
+    let mut spawn = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let positive = |name: &str, spec: &str| -> Result<usize, String> {
+            match spec.parse() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("{name} expects a positive integer, got '{spec}'")),
+            }
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")?.clone()),
+            "--spawn" => spawn = true,
+            "--requests" => parsed.requests = positive("--requests", value("--requests")?)?,
+            "--clients" => parsed.clients = positive("--clients", value("--clients")?)?,
+            "--sites" => parsed.sites = positive("--sites", value("--sites")?)?,
+            "--threads" => parsed.threads = positive("--threads", value("--threads")?)?,
+            "--seed" => {
+                let spec = value("--seed")?;
+                parsed.seed = spec
+                    .parse()
+                    .map_err(|e| format!("--seed expects an integer, got '{spec}' ({e})"))?;
+            }
+            "--out" => parsed.out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if spawn && parsed.addr.is_some() {
+        return Err("--spawn and --addr are mutually exclusive".into());
+    }
+    Ok(parsed)
+}
+
+/// Fires `bodies[i]` for every index in `0..bodies.len()`, spread over
+/// `clients` threads (client `c` takes indices `c, c+C, …`), and returns
+/// all request latencies in microseconds. Any non-200 aborts the run.
+fn run_phase(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<Vec<u64>, String> {
+    let clients = clients.min(bodies.len()).max(1);
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut latencies = Vec::new();
+                    for body in bodies.iter().skip(c).step_by(clients) {
+                        let t0 = Instant::now();
+                        let (status, response) =
+                            send_request(addr, "POST", "/v1/place", body.as_bytes())
+                                .map_err(|e| format!("request failed: {e}"))?;
+                        if status != 200 {
+                            return Err(format!("HTTP {status}: {response}"));
+                        }
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Ok(latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    Ok(results.concat())
+}
+
+/// Nearest-rank percentile in milliseconds over unsorted µs samples —
+/// the server's own percentile rule ([`pv_server::percentile_us`]), so
+/// client- and `/v1/stats`-side numbers in one artifact row always agree
+/// on methodology.
+fn percentile_ms(latencies_us: &[u64], q: f64) -> f64 {
+    pv_server::percentile_us(latencies_us, q) / 1e3
+}
+
+/// Reads the server's cumulative `(cache_hits, cache_misses)` counters
+/// from `/v1/stats`.
+fn cache_counts(addr: SocketAddr) -> Result<(f64, f64), String> {
+    let (status, stats) =
+        send_request(addr, "GET", "/v1/stats", b"").map_err(|e| format!("stats failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("stats returned HTTP {status}"));
+    }
+    let stats = json::parse(&stats).map_err(|e| format!("stats body: {e}"))?;
+    let number = |key: &str| -> Result<f64, String> {
+        stats
+            .get(key)
+            .and_then(json::JsonValue::as_number)
+            .ok_or_else(|| format!("stats body missing numeric '{key}'"))
+    };
+    Ok((number("cache_hits")?, number("cache_misses")?))
+}
+
+/// One artifact record: shared `bench`/`scale`/`name` core + the server
+/// measurements (the schema `check_bench_json` enforces).
+fn record(
+    scale: &str,
+    name: &str,
+    latencies_us: &[u64],
+    wall_s: f64,
+    cache_hit_rate: f64,
+) -> json::JsonValue {
+    json::ObjectBuilder::new()
+        .field("bench", "server_loadgen")
+        .field("scale", scale)
+        .field("name", name)
+        .field("requests", latencies_us.len())
+        .field(
+            "rps",
+            json::rounded(latencies_us.len() as f64 / wall_s.max(1e-9), 1),
+        )
+        .field(
+            "p50_ms",
+            json::rounded(percentile_ms(latencies_us, 0.50), 3),
+        )
+        .field(
+            "p99_ms",
+            json::rounded(percentile_ms(latencies_us, 0.99), 3),
+        )
+        .field("cache_hit_rate", json::rounded(cache_hit_rate, 4))
+        .build()
+}
+
+fn run(args: &LoadgenArgs) -> Result<(), String> {
+    // Target: an external server, or a spawned in-process one (still real
+    // TCP on a real ephemeral port).
+    let spawned = match &args.addr {
+        Some(_) => None,
+        None => {
+            let service = Arc::new(PlacementService::new(ServiceConfig::smoke()));
+            let server = Server::bind(
+                "127.0.0.1:0",
+                service,
+                Runtime::with_threads(args.threads),
+                64,
+            )
+            .map_err(|e| format!("spawning server: {e}"))?;
+            Some(server)
+        }
+    };
+    let addr: SocketAddr = match (&args.addr, &spawned) {
+        (Some(addr), _) => addr.parse().map_err(|e| format!("--addr '{addr}': {e}"))?,
+        (None, Some(server)) => server.local_addr(),
+        _ => unreachable!(),
+    };
+
+    // Liveness gate before measuring anything.
+    let (status, body) = send_request(addr, "GET", "/v1/healthz", b"")
+        .map_err(|e| format!("healthz failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz returned HTTP {status}: {body}"));
+    }
+
+    let bodies: Vec<String> = (0..args.sites)
+        .map(|i| ScenarioSpec::generate(args.seed, i as u32).to_spec_string())
+        .collect();
+    eprintln!(
+        "loadgen: {} site(s), {} request(s), {} client(s) against {addr}...",
+        args.sites, args.requests, args.clients
+    );
+
+    // Phase 1 — cold: one sequential request per site (cache misses on a
+    // fresh server). Hit rates are computed as *per-phase deltas* of the
+    // server's counters, so prior traffic on an external `--addr` server
+    // never contaminates a phase's number.
+    let before_cold = cache_counts(addr)?;
+    let t0 = Instant::now();
+    let cold = run_phase(addr, &bodies, 1)?;
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let before_warm = cache_counts(addr)?;
+
+    // Phase 2 — warm mix: N requests cycling the same sites, concurrent.
+    let mix: Vec<String> = (0..args.requests)
+        .map(|r| bodies[r % bodies.len()].clone())
+        .collect();
+    let t0 = Instant::now();
+    let warm = run_phase(addr, &mix, args.clients)?;
+    let warm_wall = t0.elapsed().as_secs_f64();
+    let after_warm = cache_counts(addr)?;
+
+    let phase_rate = |before: (f64, f64), after: (f64, f64)| -> f64 {
+        let lookups = (after.0 + after.1) - (before.0 + before.1);
+        if lookups <= 0.0 {
+            0.0
+        } else {
+            (after.0 - before.0) / lookups
+        }
+    };
+    let hit_rate = phase_rate(before_warm, after_warm);
+
+    let scale = format!(
+        "{} sites, {} clients, seed {}, smoke clock",
+        args.sites, args.clients, args.seed
+    );
+    let records = [
+        record(
+            &scale,
+            "cold",
+            &cold,
+            cold_wall,
+            phase_rate(before_cold, before_warm),
+        ),
+        record(&scale, "warm_mix", &warm, warm_wall, hit_rate),
+    ];
+    let doc = json::render_record_array(&records);
+    let path = match &args.out {
+        Some(path) => std::path::PathBuf::from(path),
+        None => pv_bench::server_json_path(),
+    };
+    std::fs::write(&path, &doc).map_err(|e| format!("writing {}: {e}", path.display()))?;
+
+    println!(
+        "cold:     {:>5} req, p50 {:>8.2} ms, p99 {:>8.2} ms",
+        cold.len(),
+        percentile_ms(&cold, 0.5),
+        percentile_ms(&cold, 0.99)
+    );
+    println!(
+        "warm mix: {:>5} req, p50 {:>8.2} ms, p99 {:>8.2} ms, {:.1} req/s, hit rate {:.3}",
+        warm.len(),
+        percentile_ms(&warm, 0.5),
+        percentile_ms(&warm, 0.99),
+        warm.len() as f64 / warm_wall.max(1e-9),
+        hit_rate
+    );
+    println!(
+        "server counters this run: {} hit(s), {} miss(es)",
+        after_warm.0 - before_cold.0,
+        after_warm.1 - before_cold.1,
+    );
+    println!("wrote {}", path.display());
+
+    if let Some(server) = spawned {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = parse_loadgen_args(&args).and_then(|parsed| run(&parsed));
+    if let Err(e) = result {
+        eprintln!("Error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let parsed = parse_loadgen_args(&strings(&[
+            "--spawn",
+            "--requests",
+            "50",
+            "--clients",
+            "3",
+            "--sites",
+            "2",
+            "--seed",
+            "5",
+            "--threads",
+            "1",
+            "--out",
+            "x.json",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.requests, 50);
+        assert_eq!(parsed.clients, 3);
+        assert_eq!(parsed.sites, 2);
+        assert_eq!(parsed.seed, 5);
+        assert_eq!(parsed.threads, 1);
+        assert_eq!(parsed.addr, None);
+        assert_eq!(parsed.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn error_paths_return_messages_not_panics() {
+        for (args, needle) in [
+            (vec!["--requests", "0"], "--requests expects a positive"),
+            (vec!["--clients", "-1"], "--clients expects a positive"),
+            (vec!["--sites", "many"], "--sites expects a positive"),
+            (vec!["--addr"], "--addr needs a value"),
+            (vec!["--bogus"], "unknown flag"),
+            (
+                vec!["--spawn", "--addr", "127.0.0.1:1"],
+                "mutually exclusive",
+            ),
+        ] {
+            let err = parse_loadgen_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_in_ms() {
+        let us: Vec<u64> = (1..=1000).map(|i| i * 1000).collect();
+        assert_eq!(percentile_ms(&us, 0.5), 500.0);
+        assert_eq!(percentile_ms(&us, 0.99), 990.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn records_match_the_server_schema_shape() {
+        let r = record("s", "cold", &[1000, 2000], 0.5, 0.25);
+        assert_eq!(r.get("bench").unwrap().as_str(), Some("server_loadgen"));
+        assert_eq!(r.get("requests").unwrap().as_number(), Some(2.0));
+        assert_eq!(r.get("rps").unwrap().as_number(), Some(4.0));
+        assert!(r.get("p50_ms").unwrap().as_number().unwrap() > 0.0);
+        assert_eq!(r.get("cache_hit_rate").unwrap().as_number(), Some(0.25));
+    }
+}

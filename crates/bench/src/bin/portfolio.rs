@@ -13,47 +13,148 @@
 //! topologies); the default is the standard 30-day hourly portfolio.
 //! Scenario results are bit-identical for every `--threads` setting; only
 //! the per-scenario wall-clock column varies.
+//!
+//! Bad flags exit 1 with an `Error:` message (the workspace CLI
+//! convention) — never a panic.
 
 use pv_bench::portfolio::{drive, PortfolioOptions};
 use pv_gis::CorpusPreset;
+use pv_runtime::Runtime;
+
+/// Parsed portfolio flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PortfolioArgs {
+    preset: CorpusPreset,
+    seed: u64,
+    threads: Option<usize>,
+    smoke: bool,
+    out: Option<String>,
+}
+
+/// Parses the harness flags. Pure — no I/O, no exits — so the error
+/// paths are unit-testable.
+fn parse_portfolio_args(args: &[String]) -> Result<PortfolioArgs, String> {
+    let mut parsed = PortfolioArgs {
+        preset: CorpusPreset::Smoke,
+        seed: pv_gis::synth::CORPUS_SEED,
+        threads: None,
+        smoke: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--preset" => {
+                let name = value("--preset")?;
+                parsed.preset = CorpusPreset::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown preset '{name}' (expected one of {})",
+                        CorpusPreset::all().map(|p| p.name()).join(", ")
+                    )
+                })?;
+            }
+            "--seed" => {
+                let spec = value("--seed")?;
+                parsed.seed = spec
+                    .parse()
+                    .map_err(|e| format!("--seed expects an integer, got '{spec}' ({e})"))?;
+            }
+            "--threads" => {
+                let spec = value("--threads")?;
+                parsed.threads = Some(pv_runtime::parse_threads(spec).ok_or_else(|| {
+                    format!("--threads expects a positive integer, got '{spec}'")
+                })?);
+            }
+            "--smoke" => parsed.smoke = true,
+            "--out" => parsed.out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let value_of = |flag: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_portfolio_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("Error: {e}");
+            std::process::exit(1);
+        }
     };
-
-    let preset_name = value_of("--preset").unwrap_or("smoke");
-    let Some(preset) = CorpusPreset::from_name(preset_name) else {
-        eprintln!(
-            "Error: unknown preset '{preset_name}' (expected one of {})",
-            CorpusPreset::all().map(|p| p.name()).join(", ")
-        );
-        std::process::exit(2);
-    };
-    let seed = match value_of("--seed") {
-        None => pv_gis::synth::CORPUS_SEED,
-        Some(v) => match v.parse() {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("Error: --seed expects an integer, got '{v}' ({e})");
-                std::process::exit(2);
-            }
-        },
-    };
-
-    let runtime = pv_bench::runtime_from_args();
-    let opts = if args.iter().any(|a| a == "--smoke") {
+    let runtime = parsed
+        .threads
+        .map_or_else(Runtime::from_env, Runtime::with_threads);
+    let opts = if parsed.smoke {
         PortfolioOptions::smoke(runtime)
     } else {
         PortfolioOptions::standard(runtime)
     };
-
-    if let Err(e) = drive(preset, seed, &opts, value_of("--out")) {
+    if let Err(e) = drive(parsed.preset, parsed.seed, &opts, parsed.out.as_deref()) {
         eprintln!("Error: writing BENCH_portfolio.json failed: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_the_documented_flags() {
+        let parsed = parse_portfolio_args(&strings(&[
+            "--preset",
+            "paper3",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--smoke",
+            "--out",
+            "artifact.json",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.preset, CorpusPreset::Paper3);
+        assert_eq!(parsed.seed, 9);
+        assert_eq!(parsed.threads, Some(4));
+        assert!(parsed.smoke);
+        assert_eq!(parsed.out.as_deref(), Some("artifact.json"));
+    }
+
+    #[test]
+    fn defaults_match_the_ci_invocation() {
+        let parsed = parse_portfolio_args(&[]).unwrap();
+        assert_eq!(parsed.preset, CorpusPreset::Smoke);
+        assert_eq!(parsed.seed, pv_gis::synth::CORPUS_SEED);
+        assert_eq!(parsed.threads, None);
+        assert!(!parsed.smoke);
+    }
+
+    #[test]
+    fn error_paths_return_messages_not_panics() {
+        for (args, needle) in [
+            (vec!["--preset", "bogus"], "unknown preset 'bogus'"),
+            (vec!["--preset"], "--preset needs a value"),
+            (vec!["--threads", "0"], "--threads expects a positive"),
+            (vec!["--threads", "-3"], "--threads expects a positive"),
+            (vec!["--threads"], "--threads needs a value"),
+            (vec!["--seed", "NaN"], "--seed expects an integer"),
+            (vec!["--cache", "x"], "unknown flag '--cache'"),
+        ] {
+            let err = parse_portfolio_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+        // The unknown-preset message lists every valid preset.
+        let err = parse_portfolio_args(&strings(&["--preset", "x"])).unwrap_err();
+        for preset in CorpusPreset::all() {
+            assert!(err.contains(preset.name()), "{err}");
+        }
     }
 }

@@ -17,7 +17,11 @@ use pv_units::{Amperes, Irradiance, Meters, SimulationClock, Volts, WattHours, W
 use std::path::PathBuf;
 use std::time::Instant;
 
-pub mod json;
+/// Shared offline JSON reader/writer — a re-export of [`pv_json`], the
+/// extracted home of what used to be the private `pv_bench::json` module
+/// (the placement server is the second consumer).
+pub use pv_json as json;
+
 pub mod portfolio;
 
 /// The weather seed shared by all experiments (all three roofs are
@@ -91,7 +95,9 @@ pub fn runtime_from_args() -> Runtime {
                 "Error: --threads expects a positive integer, got {:?}",
                 args.get(i + 1).map_or("nothing", String::as_str)
             );
-            std::process::exit(2);
+            // Exit 1 like every other workspace CLI error path (the PR 1
+            // convention): bad flags are user errors, not crashes.
+            std::process::exit(1);
         }
     }
 }
@@ -274,6 +280,17 @@ pub fn bench_json_path() -> PathBuf {
     ))
 }
 
+/// Path of the server load-test artifact at the repo root
+/// (`BENCH_server.json`, written by the `loadgen` bin), independent of
+/// the invocation directory.
+#[must_use]
+pub fn server_json_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_server.json"
+    ))
+}
+
 /// Writes the benchmark artifact consumed by the CI schema check and the
 /// EXPERIMENTS.md perf trajectory: a JSON array of objects with keys
 /// `bench`, `scale`, `name`, `ns_per_eval`, `speedup_vs_cold`.
@@ -288,28 +305,26 @@ pub fn write_bench_records(bench: &str, records: &[BenchRecord]) -> std::io::Res
 }
 
 /// Renders the `BENCH_evaluator.json` document (see
-/// [`write_bench_records`]).
+/// [`write_bench_records`]) through the shared [`json`] writer.
 ///
 /// Non-finite measurements are rendered verbatim (`NaN`/`inf`), which is
 /// not valid JSON — deliberately, so a broken measurement makes the CI
 /// schema check fail instead of being laundered into a plausible number.
 #[must_use]
 pub fn render_bench_records(bench: &str, records: &[BenchRecord]) -> String {
-    let mut doc = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        doc.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"scale\": \"{}\", \"name\": \"{}\", \
-             \"ns_per_eval\": {:.1}, \"speedup_vs_cold\": {:.3}}}{}\n",
-            json::escape(bench),
-            json::escape(&r.scale),
-            json::escape(&r.name),
-            r.ns_per_eval,
-            r.speedup_vs_cold,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    doc.push_str("]\n");
-    doc
+    let items: Vec<json::JsonValue> = records
+        .iter()
+        .map(|r| {
+            json::ObjectBuilder::new()
+                .field("bench", bench)
+                .field("scale", r.scale.as_str())
+                .field("name", r.name.as_str())
+                .field("ns_per_eval", json::rounded(r.ns_per_eval, 1))
+                .field("speedup_vs_cold", json::rounded(r.speedup_vs_cold, 3))
+                .build()
+        })
+        .collect();
+    json::render_record_array(&items)
 }
 
 /// Wall-clock results of [`proposal_loop_timings`].

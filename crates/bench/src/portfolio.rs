@@ -291,41 +291,42 @@ pub fn render_portfolio_json(
     scale: &str,
     records: &[PortfolioRecord],
 ) -> String {
-    let mut doc = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let exact = match (r.exact_wh, r.exact_gap_percent()) {
-            (Some(wh), Some(gap)) => {
-                format!(", \"exact_wh\": {wh:.3}, \"exact_gap_percent\": {gap:.4}")
-            }
-            _ => String::new(),
-        };
-        doc.push_str(&format!(
-            "  {{\"bench\": \"portfolio:{}\", \"scale\": \"{}\", \"name\": \"{}\", \
-             \"archetype\": \"{}\", \"latitude_deg\": {}, \
-             \"width_cells\": {}, \"depth_cells\": {}, \"ng\": {}, \
-             \"series\": {}, \"strings\": {}, \
-             \"greedy_wh\": {:.3}, \"anneal_wh\": {:.3}, \
-             \"anneal_gain_percent\": {:.4}{}, \"wall_ms\": {:.2}}}{}\n",
-            json::escape(corpus_name),
-            json::escape(scale),
-            json::escape(&r.scenario),
-            json::escape(&r.archetype),
-            r.latitude_deg,
-            r.dims.0,
-            r.dims.1,
-            r.ng,
-            r.series,
-            r.strings,
-            r.greedy_wh,
-            r.anneal_wh,
-            r.anneal_gain_percent(),
-            exact,
-            r.wall_ms,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    doc.push_str("]\n");
-    doc
+    let items: Vec<json::JsonValue> = records
+        .iter()
+        .map(|r| {
+            // The exact pair appears together or not at all (the schema
+            // check enforces exactly that invariant).
+            let exact = match (r.exact_wh, r.exact_gap_percent()) {
+                (Some(wh), Some(gap)) => Some((wh, gap)),
+                _ => None,
+            };
+            json::ObjectBuilder::new()
+                .field("bench", format!("portfolio:{corpus_name}"))
+                .field("scale", scale)
+                .field("name", r.scenario.as_str())
+                .field("archetype", r.archetype.as_str())
+                .field("latitude_deg", r.latitude_deg)
+                .field("width_cells", r.dims.0)
+                .field("depth_cells", r.dims.1)
+                .field("ng", r.ng)
+                .field("series", r.series)
+                .field("strings", r.strings)
+                .field("greedy_wh", json::rounded(r.greedy_wh, 3))
+                .field("anneal_wh", json::rounded(r.anneal_wh, 3))
+                .field(
+                    "anneal_gain_percent",
+                    json::rounded(r.anneal_gain_percent(), 4),
+                )
+                .maybe("exact_wh", exact.map(|(wh, _)| json::rounded(wh, 3)))
+                .maybe(
+                    "exact_gap_percent",
+                    exact.map(|(_, gap)| json::rounded(gap, 4)),
+                )
+                .field("wall_ms", json::rounded(r.wall_ms, 2))
+                .build()
+        })
+        .collect();
+    json::render_record_array(&items)
 }
 
 /// Writes `BENCH_portfolio.json` at the repo root (see

@@ -47,6 +47,7 @@ mod error;
 mod evaluate;
 pub mod exact;
 mod greedy;
+mod placer;
 pub mod render;
 mod report;
 mod suitability;
@@ -58,6 +59,7 @@ pub use error::FloorplanError;
 pub use evaluate::{EnergyEvaluator, EnergyReport, EvaluationContext, TraceMemo};
 pub use exact::{optimal_placement, optimal_placement_with_memo};
 pub use greedy::{greedy_placement, greedy_placement_with_map, FloorplanResult};
+pub use placer::{Placer, PlacerOptions};
 pub use report::{ComparisonRow, Table1Report};
 pub use suitability::SuitabilityMap;
 pub use traditional::{traditional_placement, traditional_placement_with_map};

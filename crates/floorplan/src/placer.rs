@@ -1,0 +1,227 @@
+//! A unified, service-facing entry point over the three placers.
+//!
+//! The batch harnesses call [`greedy_placement`](crate::greedy_placement),
+//! [`anneal`](mod@crate::anneal) and [`exact`](crate::exact) directly,
+//! each with its own signature. A
+//! *serving* caller — the `pv_server` placement service, or anything else
+//! that dispatches on a request field — wants one call that takes the
+//! placer's name, the shared warm [`TraceMemo`], and deterministic tuning
+//! knobs, and returns the placement together with its full
+//! [`EnergyReport`]. [`Placer::place_with_memo`] is that call.
+//!
+//! Every path is a pure function of its inputs (dataset, config, options,
+//! memo contents only affect *speed*, never values — the PR 3 bit-identity
+//! contract), so two identical requests produce identical results on any
+//! thread count.
+
+use crate::anneal::{anneal_with_memo, AnnealConfig};
+use crate::evaluate::{EnergyEvaluator, EnergyReport, TraceMemo};
+use crate::exact::optimal_placement_with_memo;
+use crate::greedy::{greedy_placement_with_map, FloorplanResult};
+use crate::suitability::SuitabilityMap;
+use crate::{FloorplanConfig, FloorplanError};
+use pv_gis::SolarDataset;
+use pv_runtime::Runtime;
+
+/// Which placement algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placer {
+    /// The paper's greedy algorithm (Fig. 5) — the default.
+    Greedy,
+    /// Greedy start refined by simulated annealing.
+    Anneal,
+    /// The exhaustive optimum (only feasible on tiny search spaces).
+    Exact,
+}
+
+impl Placer {
+    /// All placers, in cost order.
+    #[must_use]
+    pub const fn all() -> [Self; 3] {
+        [Self::Greedy, Self::Anneal, Self::Exact]
+    }
+
+    /// Stable lowercase name (request fields, artifact records).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::Greedy => "greedy",
+            Self::Anneal => "anneal",
+            Self::Exact => "exact",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; `None` for anything else.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Runs this placer on `dataset` under `config`, sharing `memo` across
+    /// every evaluation (and with any previous run on the same site), and
+    /// returns the placement with its evaluated [`EnergyReport`].
+    ///
+    /// The suitability `map` must have been computed for a config with the
+    /// same module/percentile settings (it is topology-independent, so one
+    /// map per site serves every request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying placer's error: not enough space for the
+    /// topology, or (for [`Placer::Exact`]) a search space exceeding
+    /// `options.exact_budget`.
+    pub fn place_with_memo(
+        self,
+        dataset: &SolarDataset,
+        config: &FloorplanConfig,
+        map: &SuitabilityMap,
+        options: &PlacerOptions,
+        runtime: Runtime,
+        memo: &TraceMemo,
+    ) -> Result<(FloorplanResult, EnergyReport), FloorplanError> {
+        let evaluator = EnergyEvaluator::new(config).with_runtime(runtime);
+        let report_of = |plan: &FloorplanResult| -> Result<EnergyReport, FloorplanError> {
+            Ok(evaluator.context_with_memo(dataset, plan, memo)?.evaluate())
+        };
+        match self {
+            Self::Greedy => {
+                let plan = greedy_placement_with_map(dataset, config, map)?;
+                let report = report_of(&plan)?;
+                Ok((plan, report))
+            }
+            Self::Anneal => {
+                let start = greedy_placement_with_map(dataset, config, map)?;
+                let params = AnnealConfig {
+                    iterations: options.anneal_iterations,
+                    seed: options.seed,
+                    ..AnnealConfig::default()
+                };
+                let (plan, _) = anneal_with_memo(dataset, config, &start, params, runtime, memo)?;
+                let report = report_of(&plan)?;
+                Ok((plan, report))
+            }
+            Self::Exact => {
+                let (plan, _) = optimal_placement_with_memo(
+                    dataset,
+                    config,
+                    options.exact_budget,
+                    runtime,
+                    memo,
+                )?;
+                let report = report_of(&plan)?;
+                Ok((plan, report))
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Placer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic tuning knobs of [`Placer::place_with_memo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacerOptions {
+    /// Proposals per annealing chain ([`Placer::Anneal`]).
+    pub anneal_iterations: u32,
+    /// RNG seed of the annealing chain — part of the request identity, so
+    /// a caller repeating a request reproduces the chain exactly.
+    pub seed: u64,
+    /// Node budget of the exhaustive search ([`Placer::Exact`]).
+    pub exact_budget: u64,
+}
+
+impl Default for PlacerOptions {
+    fn default() -> Self {
+        Self {
+            anneal_iterations: 120,
+            seed: 0,
+            exact_budget: 20_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv_gis::{RoofBuilder, Site, SolarExtractor};
+    use pv_model::Topology;
+    use pv_units::{Meters, SimulationClock};
+
+    fn tiny_site() -> SolarDataset {
+        let roof = RoofBuilder::new(Meters::new(8.0), Meters::new(4.0)).build();
+        SolarExtractor::new(Site::turin(), SimulationClock::days_at_minutes(1, 240))
+            .seed(7)
+            .runtime(Runtime::sequential())
+            .extract(&roof)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for placer in Placer::all() {
+            assert_eq!(Placer::from_name(placer.name()), Some(placer));
+        }
+        assert_eq!(Placer::from_name("oracle"), None);
+    }
+
+    #[test]
+    fn all_three_placers_run_and_order_sanely() {
+        let dataset = tiny_site();
+        let config = FloorplanConfig::paper(Topology::new(2, 1).unwrap()).unwrap();
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let memo = TraceMemo::new();
+        let options = PlacerOptions {
+            anneal_iterations: 8,
+            seed: 3,
+            exact_budget: 200_000,
+        };
+        let runtime = Runtime::sequential();
+        let energy = |p: Placer| {
+            let (plan, report) = p
+                .place_with_memo(&dataset, &config, &map, &options, runtime, &memo)
+                .unwrap();
+            assert_eq!(plan.placement.len(), 2);
+            report.energy.as_wh()
+        };
+        let greedy = energy(Placer::Greedy);
+        let anneal = energy(Placer::Anneal);
+        let exact = energy(Placer::Exact);
+        assert!(greedy > 0.0);
+        assert!(anneal >= greedy - 1e-9, "anneal {anneal} < greedy {greedy}");
+        assert!(exact >= anneal - 1e-9, "exact {exact} < anneal {anneal}");
+    }
+
+    #[test]
+    fn warm_memo_does_not_change_results() {
+        let dataset = tiny_site();
+        let config = FloorplanConfig::paper(Topology::new(2, 1).unwrap()).unwrap();
+        let map = SuitabilityMap::compute(&dataset, &config);
+        let options = PlacerOptions {
+            anneal_iterations: 6,
+            seed: 11,
+            exact_budget: 1,
+        };
+        let runtime = Runtime::sequential();
+        let cold_memo = TraceMemo::new();
+        let (_, cold) = Placer::Anneal
+            .place_with_memo(&dataset, &config, &map, &options, runtime, &cold_memo)
+            .unwrap();
+        let warm_memo = TraceMemo::new();
+        // Warm the memo with a greedy run first, then repeat the request.
+        Placer::Greedy
+            .place_with_memo(&dataset, &config, &map, &options, runtime, &warm_memo)
+            .unwrap();
+        let (_, warm) = Placer::Anneal
+            .place_with_memo(&dataset, &config, &map, &options, runtime, &warm_memo)
+            .unwrap();
+        assert_eq!(cold.energy.as_wh().to_bits(), warm.energy.as_wh().to_bits());
+
+        // An infeasible exact budget surfaces as an error, not a panic.
+        assert!(matches!(
+            Placer::Exact.place_with_memo(&dataset, &config, &map, &options, runtime, &warm_memo),
+            Err(FloorplanError::SearchSpaceTooLarge { .. })
+        ));
+    }
+}

@@ -550,6 +550,30 @@ impl ScenarioSpec {
         )
     }
 
+    /// Stable 64-bit identity of this spec, for cache keying: FNV-1a over
+    /// the canonical [`to_spec_string`](Self::to_spec_string) encoding.
+    ///
+    /// Because the hash is taken over the *re-rendered* canonical string
+    /// (not the bytes a client happened to send), any two spec strings
+    /// that parse to the same spec — field order, extra whitespace —
+    /// produce the same key:
+    ///
+    /// ```
+    /// use pv_gis::synth::ScenarioSpec;
+    /// let spec = ScenarioSpec::generate(2018, 3);
+    /// let canonical = spec.to_spec_string();
+    /// // Shuffle the field order; the parsed spec (and key) is unchanged.
+    /// let mut fields: Vec<&str> = canonical.split_whitespace().collect();
+    /// fields[1..].rotate_left(4);
+    /// let shuffled = fields.join("  ");
+    /// let reparsed = ScenarioSpec::parse_spec_string(&shuffled).unwrap();
+    /// assert_eq!(reparsed.canonical_hash(), spec.canonical_hash());
+    /// ```
+    #[must_use]
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.to_spec_string().as_bytes())
+    }
+
     /// Parses a [`to_spec_string`](Self::to_spec_string) line.
     ///
     /// # Errors
@@ -633,6 +657,19 @@ impl ScenarioSpec {
 /// parameter space stays rich.
 fn round_dm(v: f64) -> f64 {
     (v * 10.0).round() / 10.0
+}
+
+/// FNV-1a over `bytes` — the workspace's std-only stable hash for cache
+/// keys (`std::hash::Hasher` output is not specified to be stable across
+/// releases, and a cache key's stability is part of the service contract).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A fully realized site: DSM plus geographic and weather context.
@@ -863,6 +900,29 @@ mod tests {
             ScenarioSpec::parse_spec_string(without_horizon),
             Err("missing field 'horizon'".to_string())
         );
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_and_discriminating() {
+        let spec = ScenarioSpec::generate(CORPUS_SEED, 0);
+        assert_eq!(
+            spec.canonical_hash(),
+            ScenarioSpec::generate(CORPUS_SEED, 0).canonical_hash()
+        );
+        // Distinct scenarios key differently (probabilistically certain
+        // for a 64-bit hash over 24 inputs — a collision here means the
+        // hash is broken, not unlucky).
+        let mut keys: Vec<u64> = (0..24)
+            .map(|i| ScenarioSpec::generate(CORPUS_SEED, i).canonical_hash())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 24);
+        // And the key survives a formatting round-trip through a
+        // non-canonical rendering.
+        let noisy = format!("  {}  ", spec.to_spec_string().replace(' ', "   "));
+        let reparsed = ScenarioSpec::parse_spec_string(&noisy).unwrap();
+        assert_eq!(reparsed.canonical_hash(), spec.canonical_hash());
     }
 
     #[test]

@@ -1,11 +1,35 @@
-//! Minimal JSON reader for the bench artifact schema check.
+//! Minimal offline JSON reader **and writer** shared across the workspace.
 //!
-//! The workspace is offline (no serde), yet `BENCH_evaluator.json` must be
-//! validated in CI so the perf-trajectory artifact can't silently rot.
-//! This is a small recursive-descent parser covering exactly the JSON
-//! grammar — enough to load the artifact and assert its schema, and small
-//! enough to audit at a glance. Not a general-purpose library: numbers are
-//! read through `f64`, and object keys keep their last occurrence.
+//! The workspace is offline (no serde), yet several components speak JSON:
+//! the bench artifacts (`BENCH_*.json`) must be validated in CI, and the
+//! `pv_server` placement service reads request bodies and writes response
+//! bodies. This crate is their shared home — originally the private
+//! `pv_bench::json` module, extracted once a second consumer appeared.
+//!
+//! The reader is a small recursive-descent parser covering exactly the
+//! JSON grammar — enough to load an artifact or a request body and assert
+//! its schema, and small enough to audit at a glance. Not a
+//! general-purpose library: numbers are read through `f64`, and object
+//! keys keep their last occurrence.
+//!
+//! The writer is the dual: [`JsonValue::to_json_string`] serializes any
+//! value compactly with correct string escaping, [`ObjectBuilder`] builds
+//! objects with a fixed field order, and [`render_record_array`] renders
+//! the one-record-per-line array shape every `BENCH_*.json` artifact uses.
+//!
+//! ```
+//! use pv_json::{parse, ObjectBuilder};
+//! let doc = ObjectBuilder::new()
+//!     .field("name", "smoke \"run\"")
+//!     .field("count", 3.0)
+//!     .build()
+//!     .to_json_string();
+//! assert_eq!(doc, r#"{"name": "smoke \"run\"", "count": 3}"#);
+//! assert_eq!(parse(&doc).unwrap().get("count").unwrap().as_number(), Some(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +86,168 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean value when this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value as compact JSON (single line, one space after
+    /// `:` and `,` for readability).
+    ///
+    /// Numbers print in Rust's shortest-round-trip form; callers wanting
+    /// fixed decimal places should pre-round with [`rounded`]. Non-finite
+    /// numbers render verbatim (`NaN`/`inf`), which is **not** valid JSON —
+    /// deliberately, so a broken measurement makes a downstream schema
+    /// check fail instead of being laundered into a plausible number.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                // `{}` on f64 is shortest-round-trip; integral values print
+                // without a trailing ".0", which is still a JSON number.
+                out.push_str(&format!("{x}"));
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str("\": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Number(x)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Number(x as f64)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(x: u32) -> Self {
+        JsonValue::Number(f64::from(x))
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(items: Vec<JsonValue>) -> Self {
+        JsonValue::Array(items)
+    }
+}
+
+/// Builds a [`JsonValue::Object`] with a fixed, caller-controlled field
+/// order — the writer-side idiom for artifact records and service
+/// responses, replacing hand-assembled `format!` JSON.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectBuilder {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl ObjectBuilder {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `key: value`.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends `key: value` when `value` is `Some`, nothing otherwise —
+    /// for optional record fields that are omitted rather than nulled.
+    #[must_use]
+    pub fn maybe(self, key: &str, value: Option<impl Into<JsonValue>>) -> Self {
+        match value {
+            Some(v) => self.field(key, v),
+            None => self,
+        }
+    }
+
+    /// Finishes the object.
+    #[must_use]
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+}
+
+/// Renders a record array in the shared `BENCH_*.json` artifact shape:
+/// one compact record per line, two-space indent, trailing newline.
+#[must_use]
+pub fn render_record_array(records: &[JsonValue]) -> String {
+    let mut doc = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        doc.push_str("  ");
+        doc.push_str(&record.to_json_string());
+        doc.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("]\n");
+    doc
+}
+
+/// Rounds `x` to `decimals` decimal places, so the shortest-round-trip
+/// writer emits at most that many — the writer-side replacement for the
+/// `{:.3}`-style precision of the old `format!` artifact writers.
+#[must_use]
+pub fn rounded(x: f64, decimals: u32) -> f64 {
+    let scale = 10f64.powi(decimals as i32);
+    (x * scale).round() / scale
 }
 
 /// Parses a complete JSON document.
@@ -350,5 +536,61 @@ mod tests {
         let nasty = "line\nbreak \"quoted\" back\\slash\ttab";
         let doc = format!("\"{}\"", escape(nasty));
         assert_eq!(parse(&doc).unwrap(), JsonValue::String(nasty.into()));
+    }
+
+    #[test]
+    fn writer_round_trips_every_value_kind() {
+        let value = ObjectBuilder::new()
+            .field("null-ish", JsonValue::Null)
+            .field("flag", true)
+            .field("n", -2.5)
+            .field("s", "quote \" slash \\ tab\t")
+            .field(
+                "arr",
+                vec![JsonValue::Number(1.0), JsonValue::String("x".into())],
+            )
+            .field("nested", ObjectBuilder::new().field("k", 7usize).build())
+            .build();
+        let doc = value.to_json_string();
+        assert_eq!(parse(&doc).unwrap(), value);
+    }
+
+    #[test]
+    fn writer_emits_integral_numbers_without_fraction() {
+        assert_eq!(JsonValue::Number(3.0).to_json_string(), "3");
+        assert_eq!(JsonValue::Number(3.25).to_json_string(), "3.25");
+    }
+
+    #[test]
+    fn maybe_omits_absent_fields() {
+        let with = ObjectBuilder::new().maybe("k", Some(1.0)).build();
+        let without = ObjectBuilder::new().maybe("k", None::<f64>).build();
+        assert!(with.get("k").is_some());
+        assert_eq!(without, JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn record_array_renders_one_record_per_line() {
+        let records = [
+            ObjectBuilder::new().field("a", 1.0).build(),
+            ObjectBuilder::new().field("b", "x").build(),
+        ];
+        let doc = render_record_array(&records);
+        assert_eq!(doc, "[\n  {\"a\": 1},\n  {\"b\": \"x\"}\n]\n");
+        assert_eq!(parse(&doc).unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(render_record_array(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn rounded_truncates_to_requested_decimals() {
+        assert_eq!(rounded(1.23456, 3), 1.235);
+        assert_eq!(rounded(-0.0004, 3), -0.0);
+        assert_eq!(rounded(17.0, 2), 17.0);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_invalid_on_purpose() {
+        assert!(parse(&JsonValue::Number(f64::NAN).to_json_string()).is_err());
+        assert!(parse(&JsonValue::Number(f64::INFINITY).to_json_string()).is_err());
     }
 }

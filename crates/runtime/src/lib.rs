@@ -33,6 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::WorkerPool;
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

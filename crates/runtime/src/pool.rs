@@ -1,0 +1,275 @@
+//! A long-lived worker pool over a bounded job queue.
+//!
+//! [`Runtime`] covers the workspace's *batch* shape: spawn
+//! scoped workers, map a closure over a dense range, join. A server has
+//! the opposite shape — workers outlive any one unit of work and drain a
+//! queue of independent jobs arriving over time. [`WorkerPool`] provides
+//! that shape on the same configuration surface: the worker count comes
+//! from a [`Runtime`] (so `--threads` / `PV_THREADS` size both executors),
+//! and the queue is **bounded**, so a producer that outruns the workers
+//! blocks instead of growing memory without limit (backpressure).
+//!
+//! Scheduling is nondeterministic (any worker may take any job); pools
+//! must therefore only run jobs whose *results* do not depend on which
+//! worker executes them or in which order — the placement service's
+//! request handlers are exactly that: pure functions of the request.
+//!
+//! ```
+//! use pv_runtime::{Runtime, WorkerPool};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = WorkerPool::new(Runtime::with_threads(3), 8);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..20 {
+//!     let hits = Arc::clone(&hits);
+//!     pool.submit(move || {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! pool.shutdown(); // drains the queue, then joins the workers
+//! assert_eq!(hits.load(Ordering::Relaxed), 20);
+//! ```
+
+use crate::Runtime;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is pushed or the queue closes (workers wait).
+    not_empty: Condvar,
+    /// Signalled when a job is popped (producers wait while full).
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A fixed set of worker threads draining a bounded FIFO job queue.
+///
+/// Dropping the pool without calling [`shutdown`](Self::shutdown) also
+/// drains and joins (shutdown-on-drop), so a pool can never leak threads.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `runtime.threads()` workers over a queue holding at most
+    /// `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or a worker thread cannot be spawned.
+    #[must_use]
+    pub fn new(runtime: Runtime, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        let workers = (0..runtime.threads())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pv-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues `job`, blocking while the queue is at capacity
+    /// (backpressure). Returns `false` — without running the job — if the
+    /// pool has been shut down.
+    pub fn submit<F>(&self, job: F) -> bool
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        loop {
+            if !state.open {
+                return false;
+            }
+            if state.jobs.len() < self.shared.capacity {
+                state.jobs.push_back(Box::new(job));
+                self.shared.not_empty.notify_one();
+                return true;
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .expect("pool lock poisoned");
+        }
+    }
+
+    /// Number of jobs currently queued (not yet picked up by a worker).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .jobs
+            .len()
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the queue, lets the workers drain every job already
+    /// accepted, and joins them. Subsequent [`submit`](Self::submit) calls
+    /// on a clone of the handle return `false`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker thread's panic.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.open = false;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() && !std::thread::panicking() {
+            self.close_and_join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    shared.not_full.notify_one();
+                    break job;
+                }
+                if !state.open {
+                    return; // closed and drained
+                }
+                state = shared.not_empty.wait(state).expect("pool lock poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn every_submitted_job_runs_exactly_once() {
+        let pool = WorkerPool::new(Runtime::with_threads(4), 16);
+        let sum = Arc::new(AtomicUsize::new(0));
+        for i in 1..=100 {
+            let sum = Arc::clone(&sum);
+            assert!(pool.submit(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity() {
+        let pool = WorkerPool::new(Runtime::with_threads(1), 2);
+        let gate = Arc::new(AtomicUsize::new(0));
+        // Stall the single worker so submissions pile up in the queue.
+        let g = Arc::clone(&gate);
+        pool.submit(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let producer = {
+                let done = Arc::clone(&done);
+                let pool = &pool;
+                scope.spawn(move || {
+                    for _ in 0..6 {
+                        let done = Arc::clone(&done);
+                        pool.submit(move || {
+                            done.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            };
+            // While the worker is stalled, the queue is bounded by its
+            // capacity even though the producer wants to push 6 jobs.
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(pool.queue_depth() <= 2, "depth {}", pool.queue_depth());
+            gate.store(1, Ordering::Release);
+            producer.join().unwrap();
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs_and_drop_is_clean() {
+        let count = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(Runtime::with_threads(2), 32);
+            for _ in 0..20 {
+                let count = Arc::clone(&count);
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_micros(100));
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Dropped without an explicit shutdown: still drains + joins.
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn threads_match_the_runtime() {
+        let pool = WorkerPool::new(Runtime::with_threads(3), 1);
+        assert_eq!(pool.threads(), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = WorkerPool::new(Runtime::sequential(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Placement-as-a-service: an embeddable HTTP/1.1 front end over the
+//! floorplanning pipeline, with warm per-site caches.
+//!
+//! Every other entry point in the workspace (`pvplan`, `portfolio`, the
+//! bench bins) is a batch run: extract a site, place modules, print, exit
+//! — and the warm-reuse machinery of the incremental evaluator (the shared
+//! [`TraceMemo`](pv_floorplan::TraceMemo), `anneal_with_memo`,
+//! `optimal_placement_with_memo`) dies with the process. This crate turns
+//! that machinery into a *service*: a [`PlacementService`] keeps an LRU of
+//! per-site state — extracted [`SolarDataset`](pv_gis::SolarDataset),
+//! [`SuitabilityMap`](pv_floorplan::SuitabilityMap) and a warm
+//! `TraceMemo`, keyed by a canonical hash of the request's
+//! [`ScenarioSpec`](pv_gis::ScenarioSpec) — so a repeat request for a
+//! known site skips extraction entirely and starts the optimizer on warm
+//! traces, and a [`Server`] serves that core over plain TCP with a
+//! bounded-queue worker pool ([`pv_runtime::WorkerPool`]).
+//!
+//! # Endpoints
+//!
+//! | route | method | body | response |
+//! |-------|--------|------|----------|
+//! | `/v1/place` | POST | spec string or JSON request | placement + energy report (JSON) |
+//! | `/v1/healthz` | GET | — | `{"status": "ok"}` |
+//! | `/v1/stats` | GET | — | cache hits/misses, queue depth, latency percentiles |
+//!
+//! # Determinism contract
+//!
+//! A `/v1/place` response body is a **pure function of the request**: the
+//! solve runs sequentially inside one worker with a seed derived from the
+//! request, cache warmth only changes *latency* (the PR 3 bit-identity
+//! contract guarantees warm traces change no values), and no timing or
+//! cache metadata is ever put in a place response. Identical requests
+//! therefore produce byte-identical bodies on any worker count and under
+//! any request interleaving — the serving-side extension of the
+//! workspace-wide determinism guarantee (DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use pv_server::{PlacementService, Server, ServiceConfig};
+//! use pv_runtime::Runtime;
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(PlacementService::new(ServiceConfig::tiny()));
+//! let server = Server::bind("127.0.0.1:0", service, Runtime::with_threads(2), 16).unwrap();
+//! let spec = pv_gis::ScenarioSpec::generate(2018, 0).to_spec_string();
+//! let (status, body) =
+//!     pv_server::http::send_request(server.local_addr(), "POST", "/v1/place", spec.as_bytes())
+//!         .unwrap();
+//! assert_eq!(status, 200, "{body}");
+//! assert!(body.contains("\"energy_wh\""));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use server::Server;
+pub use service::{PlaceRequest, PlacementService, ServiceConfig};
+pub use stats::{percentile_us, ServiceStats, StatsSnapshot};

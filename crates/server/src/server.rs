@@ -1,0 +1,208 @@
+//! The TCP transport: an acceptor thread feeding a bounded
+//! [`WorkerPool`], one connection per job.
+//!
+//! The acceptor never does protocol work — it only hands sockets to the
+//! pool, so a slow request can never stall `accept()`. The pool's queue
+//! is bounded ([`pv_runtime::WorkerPool`]): when every worker is busy and
+//! the queue is full, the acceptor blocks in `submit`, TCP backpressure
+//! reaches the clients, and memory stays flat under overload.
+
+use crate::http::{read_request, write_response, RequestError};
+use crate::service::PlacementService;
+use pv_runtime::{Runtime, WorkerPool};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection socket timeouts: a stuck client cannot pin a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Acceptor poll interval while idle (the listener is non-blocking so
+/// shutdown never waits on a connection that may never come).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// A running placement server; dropping or [`shutdown`](Self::shutdown)
+/// stops accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service` on `runtime.threads()` workers over a queue of at most
+    /// `queue_capacity` waiting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<PlacementService>,
+        runtime: Runtime,
+        queue_capacity: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pv-accept".into())
+                .spawn(move || accept_loop(&listener, &service, runtime, queue_capacity, &stop))?
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains queued and in-flight requests, joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() && !std::thread::panicking() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<PlacementService>,
+    runtime: Runtime,
+    queue_capacity: usize,
+    stop: &AtomicBool,
+) {
+    let pool = WorkerPool::new(runtime, queue_capacity);
+    // Connections accepted but not yet picked up by a worker — the number
+    // `/v1/stats` reports as `queue_depth`.
+    let backlog = Arc::new(AtomicUsize::new(0));
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                backlog.fetch_add(1, Ordering::AcqRel);
+                let service = Arc::clone(service);
+                let backlog = Arc::clone(&backlog);
+                pool.submit(move || {
+                    let depth = backlog.fetch_sub(1, Ordering::AcqRel) - 1;
+                    handle_connection(&stream, &service, depth);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept errors (e.g. the peer aborted during the
+            // handshake) must not kill the server.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    pool.shutdown(); // drain accepted connections before returning
+}
+
+fn handle_connection(stream: &TcpStream, service: &PlacementService, queue_depth: usize) {
+    // Accepted sockets are blocking again (accept does not inherit the
+    // listener's non-blocking flag on the platforms we target, but be
+    // explicit), with timeouts so a dead peer frees the worker.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    let mut reader = BufReader::new(stream);
+    let (status, body) = match read_request(&mut reader) {
+        Ok(request) => service.handle(&request.method, &request.target, &request.body, queue_depth),
+        Err(RequestError::TooLarge) => (413, r#"{"error": "request too large"}"#.to_string()),
+        Err(RequestError::Malformed(e)) => {
+            (400, format!(r#"{{"error": "{}"}}"#, pv_json::escape(&e)))
+        }
+        Err(RequestError::Io(_)) => return, // peer vanished; nothing to answer
+    };
+    let mut writer = stream;
+    let _ = write_response(&mut writer, status, "application/json", body.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::send_request;
+    use crate::service::ServiceConfig;
+
+    fn start(threads: usize) -> Server {
+        let service = Arc::new(PlacementService::new(ServiceConfig::tiny()));
+        Server::bind("127.0.0.1:0", service, Runtime::with_threads(threads), 8)
+            .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn healthz_round_trips_over_tcp() {
+        let server = start(2);
+        let (status, body) = send_request(server.local_addr(), "GET", "/v1/healthz", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"status": "ok"}"#);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_wire_requests_get_a_400_not_a_hang() {
+        use std::io::{Read, Write};
+        let server = start(1);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn place_and_stats_work_end_to_end() {
+        let server = start(2);
+        let spec = pv_gis::ScenarioSpec::generate(2018, 1).to_spec_string();
+        let (status, body) =
+            send_request(server.local_addr(), "POST", "/v1/place", spec.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, stats) = send_request(server.local_addr(), "GET", "/v1/stats", b"").unwrap();
+        assert_eq!(status, 200);
+        let parsed = pv_json::parse(&stats).unwrap();
+        assert_eq!(parsed.get("place_ok").unwrap().as_number(), Some(1.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let server = start(1);
+        let addr = server.local_addr();
+        drop(server);
+        // The listener is fully closed: the exact port can be bound again.
+        TcpListener::bind(addr).expect("port released after drop");
+    }
+}

@@ -1,0 +1,709 @@
+//! The service core: request parsing, per-site cache, solve dispatch and
+//! response rendering — everything except the TCP transport, so the same
+//! [`PlacementService`] can be embedded in-process (tests call
+//! [`PlacementService::handle`] directly) or served by [`crate::Server`].
+
+use crate::cache::{CachedSite, SiteCache};
+use crate::stats::ServiceStats;
+use pv_floorplan::{
+    FloorplanConfig, FloorplanResult, Placer, PlacerOptions, SuitabilityMap, TraceMemo,
+};
+use pv_gis::synth::fnv1a;
+use pv_gis::ScenarioSpec;
+use pv_json::{JsonValue, ObjectBuilder};
+use pv_model::Topology;
+use pv_runtime::Runtime;
+use pv_units::SimulationClock;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Topology ladder tried largest-first when a request does not pin
+/// `series`/`strings`: big roofs get paper-scale panels, small ones
+/// degrade gracefully (the portfolio runner's convention).
+pub const SERVICE_LADDER: [(usize, usize); 6] = [(8, 2), (4, 2), (4, 1), (2, 2), (2, 1), (1, 1)];
+
+/// Deterministic tuning of a [`PlacementService`].
+///
+/// Everything here is part of the *response identity*: two services with
+/// the same config answer any request with the same bytes. (Cache size is
+/// the one exception — it only changes which requests are fast.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Simulated days per request (requests may override).
+    pub days: u32,
+    /// Clock step in minutes (requests may override).
+    pub step_minutes: u32,
+    /// Horizon azimuth sectors used at extraction.
+    pub horizon_sectors: usize,
+    /// Byte budget of the per-site LRU cache.
+    pub cache_bytes: usize,
+    /// Upper bound on modules per placement.
+    pub max_modules: usize,
+    /// Proposals per annealing chain (`"placer": "anneal"`).
+    pub anneal_iterations: u32,
+    /// Node budget of the exhaustive search (`"placer": "exact"`).
+    pub exact_budget: u64,
+}
+
+impl ServiceConfig {
+    /// Production-flavoured defaults: 30-day hourly clock, 64 horizon
+    /// sectors, 256 MiB site cache.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            days: 30,
+            step_minutes: 60,
+            horizon_sectors: 64,
+            cache_bytes: 256 << 20,
+            max_modules: 16,
+            anneal_iterations: 120,
+            exact_budget: 20_000,
+        }
+    }
+
+    /// CI-smoke scale: 2-day coarse clock, small topologies.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            days: 2,
+            step_minutes: 120,
+            horizon_sectors: 16,
+            cache_bytes: 64 << 20,
+            max_modules: 8,
+            anneal_iterations: 40,
+            exact_budget: 2_000,
+        }
+    }
+
+    /// Unit-test scale: the cheapest clock that still exercises every
+    /// code path.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            days: 1,
+            step_minutes: 240,
+            horizon_sectors: 8,
+            cache_bytes: 32 << 20,
+            max_modules: 4,
+            anneal_iterations: 6,
+            exact_budget: 500,
+        }
+    }
+
+    /// Overrides the cache budget (the `--cache-mb` CLI path).
+    #[must_use]
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+/// A parsed `/v1/place` request.
+///
+/// The body is either a bare spec string (`pvscn index=… seed=… …`) or a
+/// JSON object:
+///
+/// ```json
+/// {"spec": "pvscn …", "placer": "anneal", "series": 2, "strings": 2,
+///  "seed": 7, "days": 2, "step": 120}
+/// ```
+///
+/// Only `spec` is required; `series`/`strings` come as a pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlaceRequest {
+    /// The site to place on.
+    pub spec: ScenarioSpec,
+    /// Which placer to run (default greedy).
+    pub placer: Placer,
+    /// Explicit `(series, strings)` topology; `None` walks the ladder.
+    pub topology: Option<(usize, usize)>,
+    /// Annealing seed override; default is the spec's own seed.
+    pub seed: Option<u64>,
+    /// Clock override: simulated days.
+    pub days: Option<u32>,
+    /// Clock override: step minutes.
+    pub step: Option<u32>,
+}
+
+impl PlaceRequest {
+    /// Parses a request body (spec string or JSON object).
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-safe description of the first problem: malformed
+    /// JSON, unknown fields, a bad spec string, a non-integer number.
+    pub fn parse(body: &str) -> Result<Self, String> {
+        let trimmed = body.trim();
+        if !trimmed.starts_with('{') {
+            return Ok(Self {
+                spec: ScenarioSpec::parse_spec_string(trimmed).map_err(|e| format!("spec: {e}"))?,
+                placer: Placer::Greedy,
+                topology: None,
+                seed: None,
+                days: None,
+                step: None,
+            });
+        }
+        let value = pv_json::parse(trimmed).map_err(|e| format!("request body: {e}"))?;
+        let JsonValue::Object(fields) = &value else {
+            return Err("request body must be a JSON object or a spec string".into());
+        };
+        const KNOWN: [&str; 7] = [
+            "spec", "placer", "series", "strings", "seed", "days", "step",
+        ];
+        if let Some((unknown, _)) = fields.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
+            return Err(format!("unknown request field '{unknown}'"));
+        }
+        let spec_text = value
+            .get("spec")
+            .and_then(JsonValue::as_str)
+            .ok_or("request needs a string field 'spec'")?;
+        let spec = ScenarioSpec::parse_spec_string(spec_text).map_err(|e| format!("spec: {e}"))?;
+        let placer = match value.get("placer") {
+            None => Placer::Greedy,
+            Some(v) => {
+                let name = v.as_str().ok_or("'placer' must be a string")?;
+                Placer::from_name(name).ok_or_else(|| {
+                    format!("unknown placer '{name}' (expected greedy, anneal or exact)")
+                })?
+            }
+        };
+        let topology = match (
+            uint_field(&value, "series")?,
+            uint_field(&value, "strings")?,
+        ) {
+            (None, None) => None,
+            (Some(m), Some(n)) => Some((m as usize, n as usize)),
+            _ => return Err("'series' and 'strings' must be given together".into()),
+        };
+        // Range-check rather than truncate: 2^32+30 must be an error,
+        // not a silent 30-day simulation.
+        let u32_field = |key: &str| -> Result<Option<u32>, String> {
+            uint_field(&value, key)?
+                .map(|x| u32::try_from(x).map_err(|_| format!("'{key}' is out of range, got {x}")))
+                .transpose()
+        };
+        Ok(Self {
+            spec,
+            placer,
+            topology,
+            seed: uint_field(&value, "seed")?,
+            days: u32_field("days")?,
+            step: u32_field("step")?,
+        })
+    }
+}
+
+/// Reads an optional non-negative integer field (JSON numbers are `f64`;
+/// anything fractional, negative or above 2^53 is rejected, not rounded).
+fn uint_field(value: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let x = v
+                .as_number()
+                .ok_or_else(|| format!("'{key}' must be a number"))?;
+            if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= 9_007_199_254_740_992.0 {
+                Ok(Some(x as u64))
+            } else {
+                Err(format!("'{key}' must be a non-negative integer, got {x}"))
+            }
+        }
+    }
+}
+
+/// The embeddable placement service (see the crate docs for the
+/// determinism contract).
+pub struct PlacementService {
+    config: ServiceConfig,
+    cache: Mutex<SiteCache>,
+    stats: ServiceStats,
+}
+
+impl PlacementService {
+    /// A fresh service with an empty site cache.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            cache: Mutex::new(SiteCache::new(config.cache_bytes)),
+            config,
+            stats: ServiceStats::new(),
+        }
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The live counters (`/v1/stats` reads these).
+    #[must_use]
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Routes one request and produces `(status, JSON body)`.
+    ///
+    /// `queue_depth` is the transport's current backlog, surfaced in
+    /// `/v1/stats` (pass 0 when embedding without a queue).
+    #[must_use]
+    pub fn handle(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        queue_depth: usize,
+    ) -> (u16, String) {
+        self.stats.record_request();
+        let path = target.split('?').next().unwrap_or(target);
+        let (status, body) = match (method, path) {
+            ("GET", "/v1/healthz") => (200, r#"{"status": "ok"}"#.to_string()),
+            ("GET", "/v1/stats") => (200, self.stats_body(queue_depth)),
+            ("POST", "/v1/place") => match core::str::from_utf8(body) {
+                Err(_) => (400, error_body("request body must be UTF-8")),
+                Ok(text) => {
+                    let t0 = Instant::now();
+                    match self.place(text) {
+                        Ok((response, cache_hit)) => {
+                            let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX));
+                            self.stats.record_place(cache_hit, latency_us as u64);
+                            (200, response)
+                        }
+                        Err((status, body)) => (status, body),
+                    }
+                }
+            },
+            (_, "/v1/healthz" | "/v1/stats" | "/v1/place") => (
+                405,
+                error_body(&format!("method {method} not allowed here")),
+            ),
+            _ => (404, error_body(&format!("no such route '{path}'"))),
+        };
+        if status >= 400 {
+            self.stats.record_error();
+        }
+        (status, body)
+    }
+
+    /// Solves one `/v1/place` body. Returns the response body and whether
+    /// the site came warm from the cache; errors carry their HTTP status.
+    ///
+    /// # Errors
+    ///
+    /// `400` for malformed requests, `422` for well-formed requests that
+    /// are infeasible (topology does not fit, exact search over budget).
+    pub fn place(&self, body: &str) -> Result<(String, bool), (u16, String)> {
+        let request = PlaceRequest::parse(body).map_err(|e| (400, error_body(&e)))?;
+        let days = request.days.unwrap_or(self.config.days);
+        let step = request.step.unwrap_or(self.config.step_minutes);
+        if days == 0 || days > 365 {
+            return Err((400, error_body("'days' must be in 1..=365")));
+        }
+        if step == 0 || !1440u32.is_multiple_of(step) {
+            return Err((
+                400,
+                error_body("'step' must divide the 1440-minute day evenly"),
+            ));
+        }
+
+        let (site, cache_hit) = self.site_for(&request.spec, days, step);
+        let config = self.choose_config(&site, request.topology)?;
+        let options = PlacerOptions {
+            anneal_iterations: self.config.anneal_iterations,
+            // Deterministic per-request seed: the caller's override, or the
+            // spec's own seed — never ambient state.
+            seed: request.seed.unwrap_or(request.spec.seed),
+            exact_budget: self.config.exact_budget,
+        };
+        let (plan, report) = request
+            .placer
+            .place_with_memo(
+                &site.dataset,
+                &config,
+                &site.map,
+                &options,
+                Runtime::sequential(),
+                &site.memo,
+            )
+            .map_err(|e| (422, error_body(&format!("placement failed: {e}"))))?;
+
+        let response = render_place_response(
+            &request.spec,
+            request.placer,
+            days,
+            step,
+            options.seed,
+            &config,
+            &site,
+            &plan,
+            &report,
+        );
+        Ok((response, cache_hit))
+    }
+
+    /// Warm lookup or cold build of a site's cached state.
+    ///
+    /// Two racing cold requests for the same site may both extract; the
+    /// later insert replaces the earlier identical entry, and both
+    /// requests answer from their own (identical) data — correctness
+    /// never depends on winning the race.
+    fn site_for(&self, spec: &ScenarioSpec, days: u32, step: u32) -> (CachedSite, bool) {
+        let key = fnv1a(
+            format!(
+                "{} days={days} step={step} horizon={}",
+                spec.to_spec_string(),
+                self.config.horizon_sectors
+            )
+            .as_bytes(),
+        );
+        if let Some(site) = self.cache.lock().expect("cache lock poisoned").get(key) {
+            return (site, true);
+        }
+        let scenario = spec.build();
+        let clock = SimulationClock::days_at_minutes(days, step);
+        let dataset = scenario
+            .extractor(clock)
+            .horizon_sectors(self.config.horizon_sectors)
+            .runtime(Runtime::sequential())
+            .extract(&scenario.dsm);
+        let probe = Topology::new(1, 1).expect("1x1 is non-empty");
+        let probe_config = FloorplanConfig::paper(probe).expect("paper module fits 20 cm grid");
+        let map = SuitabilityMap::compute(&dataset, &probe_config);
+        let steps = dataset.num_steps() as usize;
+        let memo_budget = (steps * 8 * 1024).clamp(256 << 10, 64 << 20);
+        let cells = dataset.dims().num_cells();
+        let site = CachedSite {
+            // Footprint estimate: per-step shadow words + per-cell
+            // statics + per-step conditions + the memo's own budget.
+            bytes: cells * steps / 8 + cells * 12 + steps * 48 + memo_budget,
+            dataset: Arc::new(dataset),
+            map: Arc::new(map),
+            memo: Arc::new(TraceMemo::with_byte_budget(memo_budget)),
+            ladder_choice: Arc::new(std::sync::OnceLock::new()),
+        };
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, site.clone());
+        (site, false)
+    }
+
+    /// Resolves the request's topology: explicit pair, or the largest
+    /// ladder entry whose greedy placement fits the site.
+    fn choose_config(
+        &self,
+        site: &CachedSite,
+        explicit: Option<(usize, usize)>,
+    ) -> Result<FloorplanConfig, (u16, String)> {
+        if let Some((m, n)) = explicit {
+            let topology = Topology::new(m, n)
+                .map_err(|e| (400, error_body(&format!("bad topology: {e}"))))?;
+            if topology.num_modules() > self.config.max_modules {
+                return Err((
+                    400,
+                    error_body(&format!(
+                        "topology {m}x{n} exceeds the service limit of {} modules",
+                        self.config.max_modules
+                    )),
+                ));
+            }
+            return FloorplanConfig::paper(topology)
+                .map_err(|e| (400, error_body(&format!("bad topology: {e}"))));
+        }
+        // The ladder outcome is a pure function of (site, max_modules);
+        // memoize it in the cache entry so only the first request on a
+        // site pays the greedy fit probe.
+        let choice = *site.ladder_choice.get_or_init(|| {
+            SERVICE_LADDER
+                .iter()
+                .filter(|(m, n)| m * n <= self.config.max_modules)
+                .find(|&&(m, n)| {
+                    let topology = Topology::new(m, n).expect("ladder entries are non-empty");
+                    FloorplanConfig::paper(topology).is_ok_and(|config| {
+                        pv_floorplan::greedy_placement_with_map(&site.dataset, &config, &site.map)
+                            .is_ok()
+                    })
+                })
+                .copied()
+        });
+        match choice {
+            Some((m, n)) => {
+                let topology = Topology::new(m, n).expect("ladder entries are non-empty");
+                FloorplanConfig::paper(topology)
+                    .map_err(|e| (400, error_body(&format!("bad topology: {e}"))))
+            }
+            None => Err((
+                422,
+                error_body("no ladder topology fits this site (roof too encumbered)"),
+            )),
+        }
+    }
+
+    /// Renders the `/v1/stats` body. Unlike `/v1/place` responses this is
+    /// *observability*, not part of the determinism contract.
+    fn stats_body(&self, queue_depth: usize) -> String {
+        let snap = self.stats.snapshot();
+        let (entries, bytes, budget) = {
+            let cache = self.cache.lock().expect("cache lock poisoned");
+            (cache.len(), cache.bytes(), cache.budget_bytes())
+        };
+        ObjectBuilder::new()
+            .field("requests", snap.requests as f64)
+            .field("place_ok", snap.place_ok as f64)
+            .field("errors", snap.errors as f64)
+            .field("cache_hits", snap.cache_hits as f64)
+            .field("cache_misses", snap.cache_misses as f64)
+            .field("cache_hit_rate", pv_json::rounded(snap.cache_hit_rate(), 4))
+            .field("cache_entries", entries)
+            .field("cache_bytes", bytes)
+            .field("cache_budget_bytes", budget)
+            .field("queue_depth", queue_depth)
+            .field("p50_ms", pv_json::rounded(snap.p50_ms, 3))
+            .field("p99_ms", pv_json::rounded(snap.p99_ms, 3))
+            .build()
+            .to_json_string()
+    }
+}
+
+/// `{"error": msg}`.
+fn error_body(msg: &str) -> String {
+    ObjectBuilder::new()
+        .field("error", msg)
+        .build()
+        .to_json_string()
+}
+
+/// Renders the deterministic `/v1/place` response body: request identity
+/// (spec key, placer, clock, seed), chosen topology, energy report, and
+/// every module anchor. **No timing, no cache state** — the body must be
+/// a pure function of the request.
+#[allow(clippy::too_many_arguments)]
+fn render_place_response(
+    spec: &ScenarioSpec,
+    placer: Placer,
+    days: u32,
+    step: u32,
+    seed: u64,
+    config: &FloorplanConfig,
+    site: &CachedSite,
+    plan: &FloorplanResult,
+    report: &pv_floorplan::EnergyReport,
+) -> String {
+    let modules: Vec<JsonValue> = plan
+        .placement
+        .modules()
+        .iter()
+        .map(|m| JsonValue::Array(vec![m.anchor.x.into(), m.anchor.y.into()]))
+        .collect();
+    ObjectBuilder::new()
+        .field("name", spec.name())
+        .field("spec_key", format!("{:016x}", spec.canonical_hash()))
+        .field("placer", placer.name())
+        .field("days", days)
+        .field("step", step)
+        // Seeds are full u64s; a JSON number (f64) cannot carry them
+        // exactly, so the seed travels as a string.
+        .field("seed", seed.to_string())
+        .field("series", config.topology().series())
+        .field("strings", config.topology().strings())
+        .field("ng", site.dataset.valid().count())
+        .field("energy_wh", pv_json::rounded(report.energy.as_wh(), 3))
+        .field("gross_wh", pv_json::rounded(report.gross_energy.as_wh(), 3))
+        .field(
+            "wiring_loss_wh",
+            pv_json::rounded(report.wiring_loss.as_wh(), 3),
+        )
+        .field(
+            "mismatch_percent",
+            pv_json::rounded(report.mismatch_fraction() * 100.0, 4),
+        )
+        .field(
+            "extra_wire_m",
+            pv_json::rounded(report.extra_wire.as_meters(), 2),
+        )
+        .field("modules", JsonValue::Array(modules))
+        .build()
+        .to_json_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_body(index: u32) -> String {
+        ScenarioSpec::generate(2018, index).to_spec_string()
+    }
+
+    fn service() -> PlacementService {
+        PlacementService::new(ServiceConfig::tiny())
+    }
+
+    #[test]
+    fn raw_spec_body_parses_with_defaults() {
+        let req = PlaceRequest::parse(&spec_body(0)).unwrap();
+        assert_eq!(req.placer, Placer::Greedy);
+        assert_eq!(req.topology, None);
+        assert_eq!(req.seed, None);
+    }
+
+    #[test]
+    fn json_body_parses_every_field() {
+        let body = format!(
+            r#"{{"spec": "{}", "placer": "anneal", "series": 2, "strings": 1,
+                "seed": 9, "days": 1, "step": 240}}"#,
+            spec_body(1)
+        );
+        let req = PlaceRequest::parse(&body).unwrap();
+        assert_eq!(req.placer, Placer::Anneal);
+        assert_eq!(req.topology, Some((2, 1)));
+        assert_eq!(req.seed, Some(9));
+        assert_eq!((req.days, req.step), (Some(1), Some(240)));
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        for (body, why) in [
+            ("nonsense", "bad spec string"),
+            ("{\"placer\": \"greedy\"}", "missing spec"),
+            (r#"{"spec": "pvscn index=1"}"#, "truncated spec"),
+            (r#"{"spec": 3}"#, "non-string spec"),
+            ("{\"spec\": \"pvscn\", \"bogus\": 1}", "unknown field"),
+            ("{", "malformed JSON"),
+        ] {
+            assert!(PlaceRequest::parse(body).is_err(), "accepted {why}");
+        }
+        let with = |extra: &str| format!(r#"{{"spec": "{}", {extra}}}"#, spec_body(0));
+        assert!(PlaceRequest::parse(&with(r#""placer": "oracle""#)).is_err());
+        assert!(
+            PlaceRequest::parse(&with(r#""series": 2"#)).is_err(),
+            "half a topology"
+        );
+        assert!(PlaceRequest::parse(&with(r#""seed": 1.5"#)).is_err());
+        assert!(PlaceRequest::parse(&with(r#""seed": -1"#)).is_err());
+        // 2^32 + 30 must be rejected, not truncated to a 30-day clock.
+        let err = PlaceRequest::parse(&with(r#""days": 4294967326"#)).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn place_solves_and_repeats_bit_identically_from_the_warm_cache() {
+        let service = service();
+        let body = spec_body(0);
+        let (cold, hit_cold) = service.place(&body).unwrap();
+        let (warm, hit_warm) = service.place(&body).unwrap();
+        assert!(!hit_cold);
+        assert!(hit_warm, "repeat request must hit the site cache");
+        assert_eq!(cold, warm, "cache warmth must not change response bytes");
+        let parsed = pv_json::parse(&cold).unwrap();
+        assert!(parsed.get("energy_wh").unwrap().as_number().unwrap() > 0.0);
+        assert!(parsed.get("ng").unwrap().as_number().unwrap() > 0.0);
+        assert!(!parsed
+            .get("modules")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        // No timing or cache fields in the deterministic body.
+        assert!(parsed.get("wall_ms").is_none());
+        assert!(parsed.get("cache").is_none());
+    }
+
+    #[test]
+    fn handle_routes_and_counts() {
+        let service = service();
+        let (status, _) = service.handle("GET", "/v1/healthz", b"", 0);
+        assert_eq!(status, 200);
+        let (status, _) = service.handle("POST", "/v1/healthz", b"", 0);
+        assert_eq!(status, 405);
+        let (status, _) = service.handle("GET", "/nope", b"", 0);
+        assert_eq!(status, 404);
+        let (status, body) = service.handle("POST", "/v1/place", b"garbage", 0);
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = service.handle("POST", "/v1/place", spec_body(0).as_bytes(), 3);
+        assert_eq!(status, 200, "{body}");
+        let (status, stats) = service.handle("GET", "/v1/stats", b"", 3);
+        assert_eq!(status, 200);
+        let stats = pv_json::parse(&stats).unwrap();
+        // The stats request counts itself: it is routed before rendering.
+        assert_eq!(stats.get("requests").unwrap().as_number(), Some(6.0));
+        assert_eq!(stats.get("errors").unwrap().as_number(), Some(3.0));
+        assert_eq!(stats.get("cache_misses").unwrap().as_number(), Some(1.0));
+        assert_eq!(stats.get("cache_entries").unwrap().as_number(), Some(1.0));
+        assert_eq!(stats.get("queue_depth").unwrap().as_number(), Some(3.0));
+    }
+
+    #[test]
+    fn explicit_topology_and_placer_are_honoured() {
+        let service = service();
+        let body = format!(
+            r#"{{"spec": "{}", "placer": "anneal", "series": 2, "strings": 1}}"#,
+            spec_body(0)
+        );
+        let (response, _) = service.place(&body).unwrap();
+        let parsed = pv_json::parse(&response).unwrap();
+        assert_eq!(parsed.get("placer").unwrap().as_str(), Some("anneal"));
+        assert_eq!(parsed.get("series").unwrap().as_number(), Some(2.0));
+        assert_eq!(parsed.get("strings").unwrap().as_number(), Some(1.0));
+        assert_eq!(parsed.get("modules").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn infeasible_requests_get_4xx_not_panics() {
+        let service = service();
+        // Topology beyond the service module limit.
+        let body = format!(
+            r#"{{"spec": "{}", "series": 8, "strings": 8}}"#,
+            spec_body(0)
+        );
+        assert_eq!(service.place(&body).unwrap_err().0, 400);
+        // Bad clock override.
+        let body = format!(r#"{{"spec": "{}", "step": 7}}"#, spec_body(0));
+        assert_eq!(service.place(&body).unwrap_err().0, 400);
+        // Exact on a site whose search space dwarfs the tiny budget.
+        let body = format!(r#"{{"spec": "{}", "placer": "exact"}}"#, spec_body(0));
+        let (status, message) = service.place(&body).unwrap_err();
+        assert_eq!(status, 422, "{message}");
+        assert!(message.contains("placement failed"));
+    }
+
+    #[test]
+    fn seed_changes_the_anneal_chain_not_the_site() {
+        let service = service();
+        let with_seed = |seed: u64| {
+            format!(
+                r#"{{"spec": "{}", "placer": "anneal", "seed": {seed}}}"#,
+                spec_body(2)
+            )
+        };
+        let (a, _) = service.place(&with_seed(1)).unwrap();
+        let (b, _) = service.place(&with_seed(1)).unwrap();
+        assert_eq!(a, b, "same seed, same bytes");
+        let parsed = pv_json::parse(&a).unwrap();
+        assert_eq!(parsed.get("seed").unwrap().as_str(), Some("1"));
+        // A different seed is a different request; it may (or may not)
+        // land on a different placement, but it must echo its own seed.
+        let (c, _) = service.place(&with_seed(2)).unwrap();
+        assert_eq!(
+            pv_json::parse(&c).unwrap().get("seed").unwrap().as_str(),
+            Some("2")
+        );
+    }
+
+    #[test]
+    fn cache_evicts_under_a_starved_budget() {
+        let config = ServiceConfig {
+            cache_bytes: 1, // every entry overflows: at most one survives
+            ..ServiceConfig::tiny()
+        };
+        let service = PlacementService::new(config);
+        service.place(&spec_body(0)).unwrap();
+        service.place(&spec_body(1)).unwrap();
+        let (_, stats) = (0, service.stats_body(0));
+        let parsed = pv_json::parse(&stats).unwrap();
+        assert_eq!(parsed.get("cache_entries").unwrap().as_number(), Some(1.0));
+        // Re-requesting the evicted site is a miss, not an error.
+        let (_, hit) = service.place(&spec_body(0)).unwrap();
+        assert!(!hit);
+    }
+}

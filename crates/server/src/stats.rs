@@ -1,0 +1,177 @@
+//! Service counters and latency percentiles for `/v1/stats`.
+//!
+//! Everything here is *observability*, deliberately kept out of
+//! `/v1/place` response bodies so the determinism contract (response is a
+//! pure function of the request) survives instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many recent `/v1/place` latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Shared, thread-safe service counters.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    requests: AtomicU64,
+    place_ok: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// A point-in-time copy of the counters, plus derived percentiles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests routed, any endpoint, any outcome.
+    pub requests: u64,
+    /// Successful `/v1/place` solves.
+    pub place_ok: u64,
+    /// Requests answered with a 4xx/5xx.
+    pub errors: u64,
+    /// `/v1/place` requests served from a warm site cache entry.
+    pub cache_hits: u64,
+    /// `/v1/place` requests that had to extract the site cold.
+    pub cache_misses: u64,
+    /// Median `/v1/place` latency over the recent window, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile `/v1/place` latency over the recent window, ms.
+    pub p99_ms: f64,
+}
+
+impl StatsSnapshot {
+    /// Cache hits over all cache lookups, in `[0, 1]` (0 when none yet).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl ServiceStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one routed request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one error response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one successful place solve: its cache outcome and latency.
+    pub fn record_place(&self, cache_hit: bool, latency_us: u64) {
+        self.place_ok.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut window = self.latencies_us.lock().expect("stats lock poisoned");
+        if window.len() >= LATENCY_WINDOW {
+            // Keep the window recent: drop the oldest half in one move.
+            window.drain(..LATENCY_WINDOW / 2);
+        }
+        window.push(latency_us);
+    }
+
+    /// Copies the counters and computes the latency percentiles.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let window = self.latencies_us.lock().expect("stats lock poisoned");
+        let (p50, p99) = percentiles(&window);
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            place_ok: self.place_ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50_ms: p50 / 1e3,
+            p99_ms: p99 / 1e3,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an unsorted microsecond sample window
+/// (0 when empty). Shared with the `loadgen` harness so client- and
+/// server-side percentiles are always computed the same way.
+#[must_use]
+pub fn percentile_us(samples_us: &[u64], q: f64) -> f64 {
+    if samples_us.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples_us.to_vec();
+    sorted.sort_unstable();
+    let idx = (q * sorted.len() as f64).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1] as f64
+}
+
+/// Computes `(p50, p99)` in microseconds (see [`percentile_us`]).
+fn percentiles(samples_us: &[u64]) -> (f64, f64) {
+    (
+        percentile_us(samples_us, 0.50),
+        percentile_us(samples_us, 0.99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServiceStats::new();
+        stats.record_request();
+        stats.record_request();
+        stats.record_error();
+        stats.record_place(true, 1_000);
+        stats.record_place(false, 3_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.place_ok, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!(snap.p50_ms > 0.0 && snap.p99_ms >= snap.p50_ms);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let (p50, p99) = percentiles(&samples);
+        assert_eq!(p50, 50.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(percentiles(&[]), (0.0, 0.0));
+        assert_eq!(percentiles(&[7]), (7.0, 7.0));
+        assert_eq!(percentile_us(&samples, 1.0), 100.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let stats = ServiceStats::new();
+        for i in 0..(LATENCY_WINDOW as u64 + 100) {
+            stats.record_place(false, i);
+        }
+        let window = stats.latencies_us.lock().unwrap();
+        assert!(window.len() <= LATENCY_WINDOW);
+        // The newest sample is still present after the drain.
+        assert_eq!(*window.last().unwrap(), LATENCY_WINDOW as u64 + 99);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_lookups() {
+        assert_eq!(ServiceStats::new().snapshot().cache_hit_rate(), 0.0);
+    }
+}

@@ -10,12 +10,19 @@
 //!        [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
 //! pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
 //!        [--threads N] [--full] [--out PATH]
+//! pvplan serve [--port P] [--threads N] [--cache-mb MB]
+//!        [--days D] [--step MIN]
 //! ```
 //!
 //! `pvplan suite` runs the scenario-corpus portfolio: every site of a
 //! preset through extraction, greedy, anneal and (where feasible) the
 //! exhaustive optimum, fanned over the parallel runtime, writing the
 //! machine-readable `BENCH_portfolio.json`.
+//!
+//! `pvplan serve` starts the placement service (`pv_server`): POST a
+//! scenario spec to `/v1/place` and get the placement + energy report as
+//! JSON; repeat requests for a known site answer from the warm per-site
+//! cache (`/v1/stats` shows hits, queue depth and latency percentiles).
 //!
 //! `--threads N` (or the `PV_THREADS` environment variable) sets the
 //! worker count for solar extraction and energy evaluation; the default is
@@ -25,6 +32,8 @@ use pv_bench::portfolio::{drive, PortfolioOptions};
 use pvfloorplan::floorplan::{greedy_placement_with_map, render, traditional_placement_with_map};
 use pvfloorplan::gis::synth::{CorpusPreset, CORPUS_SEED};
 use pvfloorplan::prelude::*;
+use pvfloorplan::server::{PlacementService, Server, ServiceConfig};
+use std::sync::Arc;
 
 /// The `--help` text, pinned by a unit test so the documented environment
 /// variable and every subcommand stay in sync with the implementation.
@@ -37,10 +46,17 @@ USAGE:
          [--threads N] [--portrait] [--chimney X,Y,H]... [--hvac X,Y,H]...
   pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
          [--threads N] [--full] [--out PATH]
+  pvplan serve [--port P] [--threads N] [--cache-mb MB]
+         [--days D] [--step MIN]
 
 The `suite` subcommand fans a scenario-corpus preset across the parallel
 runtime (greedy + anneal + exact-where-feasible per site) and writes
 BENCH_portfolio.json.
+
+The `serve` subcommand starts the HTTP placement service on 127.0.0.1
+(POST /v1/place, GET /v1/healthz, GET /v1/stats). --cache-mb bounds the
+warm per-site cache; place responses are bit-identical for every
+--threads setting.
 
 THREADING:
   --threads N            worker count for extraction/evaluation/portfolio
@@ -159,14 +175,28 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Parses and runs the `suite` subcommand (everything after `suite`).
-fn run_suite(args: &[String]) -> Result<(), String> {
-    let mut preset = CorpusPreset::Smoke;
-    let mut seed = CORPUS_SEED;
-    let mut threads: Option<usize> = None;
-    let mut full = false;
-    let mut out: Option<String> = None;
+/// Parsed `pvplan suite` flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SuiteArgs {
+    preset: CorpusPreset,
+    seed: u64,
+    threads: Option<usize>,
+    full: bool,
+    out: Option<String>,
+    help: bool,
+}
 
+/// Parses the `suite` flags (everything after `suite`). Pure — no I/O, no
+/// exits — so the error paths are unit-testable.
+fn parse_suite_args(args: &[String]) -> Result<SuiteArgs, String> {
+    let mut parsed = SuiteArgs {
+        preset: CorpusPreset::Smoke,
+        seed: CORPUS_SEED,
+        threads: None,
+        full: false,
+        out: None,
+        help: false,
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -175,47 +205,185 @@ fn run_suite(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--preset" => {
                 let name = value("--preset")?;
-                preset = CorpusPreset::from_name(name)
+                parsed.preset = CorpusPreset::from_name(name)
                     .ok_or_else(|| format!("unknown preset '{name}' (try smoke)"))?;
             }
             "--seed" => {
-                seed = value("--seed")?
+                parsed.seed = value("--seed")?
                     .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--threads" => {
                 let spec = value("--threads")?;
-                threads = Some(pvfloorplan::runtime::parse_threads(spec).ok_or_else(|| {
-                    format!("--threads expects a positive integer, got '{spec}'")
-                })?);
+                parsed.threads =
+                    Some(pvfloorplan::runtime::parse_threads(spec).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got '{spec}'")
+                    })?);
             }
-            "--full" => full = true,
-            "--out" => out = Some(value("--out")?.clone()),
-            "--help" | "-h" => {
-                println!("{HELP}");
-                return Ok(());
-            }
+            "--full" => parsed.full = true,
+            "--out" => parsed.out = Some(value("--out")?.clone()),
+            "--help" | "-h" => parsed.help = true,
             other => return Err(format!("unknown suite flag '{other}' (try --help)")),
         }
     }
+    Ok(parsed)
+}
 
-    let runtime = threads.map_or_else(Runtime::from_env, Runtime::with_threads);
-    let opts = if full {
+/// Runs the `suite` subcommand.
+fn run_suite(args: &[String]) -> Result<(), String> {
+    let parsed = parse_suite_args(args)?;
+    if parsed.help {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let runtime = parsed
+        .threads
+        .map_or_else(Runtime::from_env, Runtime::with_threads);
+    let opts = if parsed.full {
         PortfolioOptions::standard(runtime)
     } else {
         PortfolioOptions::smoke(runtime)
     };
-    drive(preset, seed, &opts, out.as_deref())
+    drive(parsed.preset, parsed.seed, &opts, parsed.out.as_deref())
         .map(|_| ())
         .map_err(|e| format!("writing BENCH_portfolio.json: {e}"))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cli: Vec<String> = std::env::args().collect();
-    if cli.get(1).map(String::as_str) == Some("suite") {
-        return run_suite(&cli[2..]).map_err(|e| -> Box<dyn std::error::Error> { e.into() });
+/// Parsed `pvplan serve` flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ServeArgs {
+    port: u16,
+    threads: Option<usize>,
+    cache_mb: usize,
+    days: u32,
+    step: u32,
+    help: bool,
+}
+
+/// Parses the `serve` flags (everything after `serve`). Pure, like
+/// [`parse_suite_args`].
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let defaults = ServiceConfig::standard();
+    let mut parsed = ServeArgs {
+        port: 8080,
+        threads: None,
+        cache_mb: defaults.cache_bytes >> 20,
+        days: defaults.days,
+        step: defaults.step_minutes,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                let spec = value("--port")?;
+                parsed.port = spec
+                    .parse()
+                    .map_err(|_| format!("--port expects 0..=65535, got '{spec}'"))?;
+            }
+            "--threads" => {
+                let spec = value("--threads")?;
+                parsed.threads =
+                    Some(pvfloorplan::runtime::parse_threads(spec).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got '{spec}'")
+                    })?);
+            }
+            "--cache-mb" => {
+                let spec = value("--cache-mb")?;
+                // The upper bound keeps `cache_mb << 20` from silently
+                // overflowing usize into a tiny (or zero) byte budget.
+                parsed.cache_mb = match spec.parse() {
+                    Ok(mb) if mb > 0 && mb <= usize::MAX >> 20 => mb,
+                    Ok(mb) if mb > 0 => {
+                        return Err(format!("--cache-mb is out of range, got {mb}"));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "--cache-mb expects a positive integer, got '{spec}'"
+                        ))
+                    }
+                };
+            }
+            "--days" => {
+                parsed.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
+            "--step" => {
+                parsed.step = value("--step")?
+                    .parse()
+                    .map_err(|e| format!("--step: {e}"))?;
+            }
+            "--help" | "-h" => parsed.help = true,
+            other => return Err(format!("unknown serve flag '{other}' (try --help)")),
+        }
     }
-    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    if parsed.days == 0 || parsed.days > 365 {
+        return Err(format!("--days must be in 1..=365, got {}", parsed.days));
+    }
+    if parsed.step == 0 || !1440u32.is_multiple_of(parsed.step) {
+        return Err(format!(
+            "--step must divide the 1440-minute day evenly, got {}",
+            parsed.step
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Runs the `serve` subcommand: binds the placement service and blocks
+/// until the process is killed.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let parsed = parse_serve_args(args)?;
+    if parsed.help {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let config = ServiceConfig {
+        days: parsed.days,
+        step_minutes: parsed.step,
+        ..ServiceConfig::standard()
+    }
+    .with_cache_bytes(parsed.cache_mb << 20);
+    let runtime = parsed
+        .threads
+        .map_or_else(Runtime::from_env, Runtime::with_threads);
+    let service = Arc::new(PlacementService::new(config));
+    let server = Server::bind(("127.0.0.1", parsed.port), service, runtime, 64)
+        .map_err(|e| format!("binding port {}: {e}", parsed.port))?;
+    println!(
+        "serving on http://{} ({} worker(s), {} MiB site cache, {} day(s) @ {} min)",
+        server.local_addr(),
+        runtime.threads(),
+        parsed.cache_mb,
+        parsed.days,
+        parsed.step
+    );
+    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats");
+    loop {
+        std::thread::park(); // serve until killed (Ctrl-C)
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("Error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Dispatches the subcommands; every error path funnels through
+/// [`main`]'s `Error:`-prefixed exit-1 convention.
+fn run() -> Result<(), String> {
+    let cli: Vec<String> = std::env::args().collect();
+    match cli.get(1).map(String::as_str) {
+        Some("suite") => return run_suite(&cli[2..]),
+        Some("serve") => return run_serve(&cli[2..]),
+        _ => {}
+    }
+    let args = parse_args()?;
 
     let mut builder = RoofBuilder::new(Meters::new(args.width), Meters::new(args.depth))
         .tilt(Degrees::new(args.tilt))
@@ -256,7 +424,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .runtime(runtime)
         .extract(&roof);
 
-    let mut config = FloorplanConfig::paper(Topology::new(args.series, args.strings)?)?;
+    let topology =
+        Topology::new(args.series, args.strings).map_err(|e| format!("bad topology: {e}"))?;
+    let mut config = FloorplanConfig::paper(topology).map_err(|e| format!("bad module: {e}"))?;
     if args.portrait {
         config = config.with_portrait_modules();
     }
@@ -268,15 +438,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match traditional_placement_with_map(&data, &config, &map) {
         Ok(block) => {
-            let e = evaluator.evaluate(&data, &block)?;
+            let e = evaluator
+                .evaluate(&data, &block)
+                .map_err(|e| e.to_string())?;
             println!("traditional compact block: {:.1} kWh", e.energy.as_kwh());
             println!("{}", render::ascii_placement(&block, data.valid(), 90));
         }
         Err(e) => println!("traditional compact block: does not fit ({e})"),
     }
 
-    let plan = greedy_placement_with_map(&data, &config, &map)?;
-    let e = evaluator.evaluate(&data, &plan)?;
+    let plan = greedy_placement_with_map(&data, &config, &map).map_err(|e| e.to_string())?;
+    let e = evaluator
+        .evaluate(&data, &plan)
+        .map_err(|e| e.to_string())?;
     println!(
         "proposed irregular placement: {:.1} kWh (extra wire {:.1} m, \
          wiring loss {:.2}%, mismatch {:.2}%)",
@@ -291,11 +465,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 #[cfg(test)]
 mod tests {
-    use super::HELP;
+    use super::{parse_serve_args, parse_suite_args, HELP};
 
-    /// Every flag the two parsers accept, by subcommand. Adding a flag to
-    /// `parse_args`/`run_suite` without listing it here (and in `HELP`)
-    /// fails the pin below.
+    /// Every flag the three parsers accept, by subcommand. Adding a flag
+    /// to `parse_args`/`parse_suite_args`/`parse_serve_args` without
+    /// listing it here (and in `HELP`) fails the pin below.
     const MAIN_FLAGS: &[&str] = &[
         "--width",
         "--depth",
@@ -312,6 +486,11 @@ mod tests {
         "--hvac",
     ];
     const SUITE_FLAGS: &[&str] = &["--preset", "--seed", "--threads", "--full", "--out"];
+    const SERVE_FLAGS: &[&str] = &["--port", "--threads", "--cache-mb", "--days", "--step"];
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
 
     #[test]
     fn help_documents_pv_threads_env_var() {
@@ -327,12 +506,95 @@ mod tests {
 
     #[test]
     fn help_documents_every_flag_and_subcommand() {
-        for flag in MAIN_FLAGS.iter().chain(SUITE_FLAGS) {
+        for flag in MAIN_FLAGS.iter().chain(SUITE_FLAGS).chain(SERVE_FLAGS) {
             assert!(HELP.contains(flag), "--help is missing {flag}");
         }
         assert!(HELP.contains("pvplan suite"));
+        assert!(HELP.contains("pvplan serve"));
         for preset in pvfloorplan::gis::synth::CorpusPreset::all() {
             assert!(HELP.contains(preset.name()), "missing preset {preset}");
+        }
+    }
+
+    #[test]
+    fn suite_parser_accepts_the_documented_flags() {
+        let parsed = parse_suite_args(&strings(&[
+            "--preset",
+            "diverse64",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+            "--full",
+            "--out",
+            "x.json",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.preset.name(), "diverse64");
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.threads, Some(3));
+        assert!(parsed.full);
+        assert_eq!(parsed.out.as_deref(), Some("x.json"));
+        assert!(!parsed.help);
+    }
+
+    #[test]
+    fn suite_parser_rejects_bad_flags_with_messages_not_panics() {
+        for (args, needle) in [
+            (vec!["--preset", "bogus"], "unknown preset 'bogus'"),
+            (vec!["--preset"], "--preset needs a value"),
+            (vec!["--threads", "0"], "--threads expects a positive"),
+            (vec!["--threads", "many"], "--threads expects a positive"),
+            (vec!["--seed", "nope"], "--seed"),
+            (vec!["--frobnicate"], "unknown suite flag"),
+        ] {
+            let err = parse_suite_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_parser_accepts_the_documented_flags() {
+        let parsed = parse_serve_args(&strings(&[
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--cache-mb",
+            "64",
+            "--days",
+            "2",
+            "--step",
+            "120",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.port, 0);
+        assert_eq!(parsed.threads, Some(2));
+        assert_eq!(parsed.cache_mb, 64);
+        assert_eq!((parsed.days, parsed.step), (2, 120));
+    }
+
+    #[test]
+    fn serve_parser_rejects_bad_flags_with_messages_not_panics() {
+        for (args, needle) in [
+            (vec!["--port", "70000"], "--port expects"),
+            (vec!["--port", "x"], "--port expects"),
+            (vec!["--threads", "-1"], "--threads expects a positive"),
+            (vec!["--cache-mb", "0"], "--cache-mb expects a positive"),
+            (vec!["--cache-mb", "lots"], "--cache-mb expects a positive"),
+            // 2^44 MiB would shift-overflow into a zero byte budget.
+            (
+                vec!["--cache-mb", "17592186044416"],
+                "--cache-mb is out of range",
+            ),
+            (vec!["--days", "366"], "--days must be in 1..=365"),
+            (vec!["--days", "0"], "--days must be in 1..=365"),
+            (vec!["--step", "7"], "--step must divide"),
+            (vec!["--step"], "--step needs a value"),
+            (vec!["--serve-hard"], "unknown serve flag"),
+        ] {
+            let err = parse_serve_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
         }
     }
 }

@@ -82,6 +82,16 @@ pub mod floorplan {
     pub use pv_floorplan::*;
 }
 
+/// Offline JSON reader/writer ([`pv_json`]).
+pub mod json {
+    pub use pv_json::*;
+}
+
+/// Placement-as-a-service subsystem ([`pv_server`]).
+pub mod server {
+    pub use pv_server::*;
+}
+
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use pv_floorplan::{

@@ -1,0 +1,153 @@
+//! End-to-end acceptance test of the placement service: the determinism
+//! contract over real TCP.
+//!
+//! Starts the server on an ephemeral port with different worker counts,
+//! fires identical and interleaved requests from several client threads,
+//! and asserts **byte-identical response bodies** across thread counts,
+//! arrival orders and cache states (cold vs warm) — the serving-side
+//! extension of the pinning in `tests/portfolio.rs`.
+
+use pvfloorplan::prelude::*;
+use pvfloorplan::server::http::send_request;
+use pvfloorplan::server::{PlacementService, Server, ServiceConfig};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// The request mix: distinct sites, a repeated site, an explicit
+/// topology, an annealing request with a pinned seed — every shape the
+/// service accepts, each appearing at least twice so warm-cache repeats
+/// are part of the schedule.
+fn request_bodies() -> Vec<String> {
+    let spec = |i: u32| ScenarioSpec::generate(2018, i).to_spec_string();
+    vec![
+        spec(0),
+        spec(1),
+        format!(
+            r#"{{"spec": "{}", "placer": "anneal", "seed": 7}}"#,
+            spec(2)
+        ),
+        format!(r#"{{"spec": "{}", "series": 2, "strings": 1}}"#, spec(0)),
+        spec(0), // repeat of a known site: must hit the warm cache
+        spec(1),
+        format!(
+            r#"{{"spec": "{}", "placer": "anneal", "seed": 7}}"#,
+            spec(2)
+        ),
+    ]
+}
+
+/// Sends every request from `clients` threads, each walking the list in
+/// a different rotation (different arrival orders, concurrent and
+/// interleaved), and returns `request index -> set of response bodies`.
+fn fire_interleaved(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+) -> BTreeMap<usize, Vec<String>> {
+    let responses = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for k in 0..bodies.len() {
+                        let idx = (k + c) % bodies.len(); // rotated order
+                        let (status, body) =
+                            send_request(addr, "POST", "/v1/place", bodies[idx].as_bytes())
+                                .expect("request transport");
+                        assert_eq!(status, 200, "request {idx}: {body}");
+                        out.push((idx, body));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<_>>()
+    });
+    let mut by_request: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, body) in responses {
+        by_request.entry(idx).or_default().push(body);
+    }
+    by_request
+}
+
+fn start_server(threads: usize) -> Server {
+    let config = ServiceConfig::tiny();
+    let service = Arc::new(PlacementService::new(config));
+    Server::bind("127.0.0.1:0", service, Runtime::with_threads(threads), 16)
+        .expect("bind ephemeral port")
+}
+
+#[test]
+fn responses_are_bit_identical_across_thread_counts_and_arrival_orders() {
+    let bodies = request_bodies();
+    let mut canonical: Option<BTreeMap<usize, String>> = None;
+
+    for threads in [1usize, 3] {
+        let server = start_server(threads);
+        let by_request = fire_interleaved(server.local_addr(), &bodies, 4);
+
+        // Within one server: every client, every arrival order, every
+        // cache state produced the same bytes per request.
+        let mut unique: BTreeMap<usize, String> = BTreeMap::new();
+        for (idx, responses) in by_request {
+            assert_eq!(responses.len(), 4, "request {idx} answered once per client");
+            for response in &responses {
+                assert_eq!(
+                    *response, responses[0],
+                    "request {idx} diverged across clients/orders at {threads} thread(s)"
+                );
+            }
+            unique.insert(idx, responses[0].clone());
+        }
+
+        // The repeated entries of the mix are identical requests — their
+        // responses must be identical too (cold-vs-warm cannot leak).
+        assert_eq!(unique[&0], unique[&4]);
+        assert_eq!(unique[&1], unique[&5]);
+        assert_eq!(unique[&2], unique[&6]);
+
+        // Across servers: thread count changes nothing.
+        match &canonical {
+            None => canonical = Some(unique),
+            Some(reference) => {
+                assert_eq!(
+                    reference, &unique,
+                    "responses changed between 1 and {threads} worker threads"
+                );
+            }
+        }
+
+        // The warm cache actually fired: the mix repeats sites, so the
+        // server must report hits, and the responses parse as placements.
+        let (status, stats) = send_request(server.local_addr(), "GET", "/v1/stats", b"").unwrap();
+        assert_eq!(status, 200);
+        let stats = pvfloorplan::json::parse(&stats).unwrap();
+        let hits = stats.get("cache_hits").unwrap().as_number().unwrap();
+        let misses = stats.get("cache_misses").unwrap().as_number().unwrap();
+        assert!(hits > 0.0, "no cache hits despite repeated sites");
+        // Three distinct sites in the mix; racing cold requests for the
+        // same site may each record a miss (the benign build race the
+        // service documents), so ≥ 3 — but hits must still dominate.
+        assert!(misses >= 3.0, "misses {misses}");
+        assert_eq!(hits + misses, 28.0, "7 requests x 4 clients");
+        server.shutdown();
+    }
+
+    // Spot-check the response contents once: a real placement with energy.
+    let reference = canonical.expect("at least one server ran");
+    let parsed = pvfloorplan::json::parse(&reference[&0]).unwrap();
+    assert!(parsed.get("energy_wh").unwrap().as_number().unwrap() > 0.0);
+    assert!(!parsed
+        .get("modules")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    let explicit = pvfloorplan::json::parse(&reference[&3]).unwrap();
+    assert_eq!(explicit.get("series").unwrap().as_number(), Some(2.0));
+    assert_eq!(explicit.get("strings").unwrap().as_number(), Some(1.0));
+}
