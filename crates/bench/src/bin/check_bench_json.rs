@@ -10,6 +10,10 @@
 //! a diagnostic otherwise — keeping the artifacts honest and fully
 //! offline.
 //!
+//! Also validates the `pvlint --json` artifact, recognised by its
+//! top-level `"tool": "pvlint"` tag: scan counters plus a findings
+//! array whose entries carry rule, file, line and message.
+//!
 //! Usage: `cargo run -p pv_bench --bin check_bench_json [path]...`
 //! (no path: checks `BENCH_evaluator.json` at the repo root).
 
@@ -27,8 +31,55 @@ fn check_number(item: &JsonValue, i: usize, key: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the `pvlint --json` artifact: counters must be counts, and
+/// every finding must name its rule, file, line and message. An empty
+/// findings array is valid — that is what a clean tree writes.
+fn validate_pvlint(value: &JsonValue) -> Result<usize, String> {
+    for key in ["version", "files_scanned", "suppressed"] {
+        let x = value
+            .get(key)
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("pvlint artifact: missing numeric field {key:?}"))?;
+        if !x.is_finite() || x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("pvlint artifact: {key} = {x} is not a count"));
+        }
+    }
+    if value.get("files_scanned").and_then(JsonValue::as_number) < Some(1.0) {
+        return Err("pvlint artifact: files_scanned must be at least 1".into());
+    }
+    let findings = value
+        .get("findings")
+        .and_then(JsonValue::as_array)
+        .ok_or("pvlint artifact: missing \"findings\" array")?;
+    for (i, item) in findings.iter().enumerate() {
+        for key in ["rule", "severity", "file", "message"] {
+            item.get(key)
+                .and_then(JsonValue::as_str)
+                .filter(|s| !s.is_empty())
+                .ok_or(format!(
+                    "finding {i}: missing or empty string field {key:?}"
+                ))?;
+        }
+        // The excerpt must exist but may legitimately be empty.
+        item.get("excerpt")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("finding {i}: missing string field \"excerpt\""))?;
+        let line = item
+            .get("line")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("finding {i}: missing numeric field \"line\""))?;
+        if !line.is_finite() || line < 1.0 || line.fract() != 0.0 {
+            return Err(format!("finding {i}: line {line} is not a 1-based line"));
+        }
+    }
+    Ok(findings.len())
+}
+
 fn validate(doc: &str) -> Result<usize, String> {
     let value = parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    if value.get("tool").and_then(JsonValue::as_str) == Some("pvlint") {
+        return validate_pvlint(&value);
+    }
     let items = value.as_array().ok_or("top-level value must be an array")?;
     if items.is_empty() {
         return Err("array must contain at least one record".into());
@@ -214,6 +265,55 @@ mod tests {
         };
         let doc = render_portfolio_json("smoke", "2 days @ 120 min", &[record]);
         assert_eq!(validate(&doc), Ok(1));
+    }
+
+    const GOOD_PVLINT: &str = r#"{"tool": "pvlint", "version": 1,
+        "files_scanned": 98, "suppressed": 5, "findings": [
+        {"rule": "D01", "severity": "deny", "file": "crates/gis/src/x.rs",
+         "line": 12, "message": "hash collections are unordered",
+         "excerpt": "use std::collections::HashMap;"}]}"#;
+
+    #[test]
+    fn accepts_the_pvlint_artifact_schema() {
+        assert_eq!(validate(GOOD_PVLINT), Ok(1));
+        // A clean tree writes an empty findings array — that is valid.
+        let clean = GOOD_PVLINT.replace(
+            r#""findings": [
+        {"rule": "D01", "severity": "deny", "file": "crates/gis/src/x.rs",
+         "line": 12, "message": "hash collections are unordered",
+         "excerpt": "use std::collections::HashMap;"}]"#,
+            r#""findings": []"#,
+        );
+        assert_eq!(validate(&clean), Ok(0));
+    }
+
+    #[test]
+    fn rejects_malformed_pvlint_artifacts() {
+        for (doc, why) in [
+            (
+                GOOD_PVLINT.replace(r#""files_scanned": 98"#, r#""files_scanned": 0"#),
+                "zero files scanned",
+            ),
+            (
+                GOOD_PVLINT.replace(r#""line": 12"#, r#""line": 0"#),
+                "0-based line",
+            ),
+            (
+                GOOD_PVLINT.replace(r#""rule": "D01""#, r#""rule": """#),
+                "empty rule",
+            ),
+            (
+                GOOD_PVLINT.replace(r#""suppressed": 5,"#, ""),
+                "missing suppressed counter",
+            ),
+            (
+                r#"{"tool": "pvlint", "version": 1, "files_scanned": 9, "suppressed": 0}"#
+                    .to_string(),
+                "missing findings array",
+            ),
+        ] {
+            assert!(validate(&doc).is_err(), "accepted {why}: {doc}");
+        }
     }
 
     #[test]

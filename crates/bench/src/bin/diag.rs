@@ -12,8 +12,8 @@
 //! `evaluator_throughput` bench).
 
 use pv_bench::{
-    extract_scenario_with, proposal_loop_timings, runtime_from_args, scalar_reference_energy,
-    write_bench_records, Resolution,
+    extract_scenario_with, parse_harness_args, proposal_loop_timings, scalar_reference_energy,
+    write_bench_records, HarnessArgs, Resolution,
 };
 use pv_floorplan::*;
 use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
@@ -22,18 +22,21 @@ use pv_runtime::Runtime;
 use std::time::Instant;
 
 fn main() {
-    let runtime = runtime_from_args();
-    if std::env::args().any(|a| a == "--timings") {
-        timings(runtime);
-        return;
+    let cli: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = parse_harness_args(&cli, &["--timings"]).and_then(|args| run(&args)) {
+        eprintln!("Error: {e}");
+        std::process::exit(1);
     }
-    let resolution = if std::env::args().any(|a| a == "--smoke") {
-        Resolution::Smoke
-    } else {
-        // Default to fast: the paper resolution adds nothing to these
-        // structural diagnostics.
-        Resolution::Fast
-    };
+}
+
+fn run(args: &HarnessArgs) -> Result<(), String> {
+    let runtime = args.runtime();
+    if args.has("--timings") {
+        return timings(runtime);
+    }
+    // Default to fast: the paper resolution adds nothing to these
+    // structural diagnostics.
+    let resolution = args.resolution_or(Resolution::Fast);
     let scenario = RoofScenario::build(PaperRoof::Roof2);
     let dataset = extract_scenario_with(&scenario, resolution, runtime);
     let config = FloorplanConfig::paper(Topology::new(8, 4).unwrap()).unwrap();
@@ -81,12 +84,13 @@ fn main() {
             r.energy.as_mwh(), r.gross_energy.as_mwh(), r.sum_of_module_energy.as_mwh(),
             r.mismatch_fraction()*100.0, r.extra_wire.as_meters(), r.wiring_loss.as_kwh());
     }
+    Ok(())
 }
 
 /// Times the solar extractor and the energy evaluator before/after the
 /// `pv_runtime` refactor: scalar reference vs batched kernel, sequential
 /// vs parallel. Roof 2, 30 days at hourly steps, N = 32.
-fn timings(runtime: Runtime) {
+fn timings(runtime: Runtime) -> Result<(), String> {
     let scenario = RoofScenario::build(PaperRoof::Roof2);
     let clock = Resolution::Smoke.clock();
     let config = FloorplanConfig::paper(Topology::new(8, 4).unwrap()).unwrap();
@@ -167,6 +171,30 @@ fn timings(runtime: Runtime) {
         "diag --timings",
         &proposals.to_records(&pv_bench::proposal_probe_scale()),
     )
-    .expect("write BENCH_evaluator.json");
+    .map_err(|e| format!("write BENCH_evaluator.json: {e}"))?;
     println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_paths_return_messages_not_panics() {
+        let bad = vec!["--threads".to_string(), "zero".to_string()];
+        let err = parse_harness_args(&bad, &["--timings"]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let unknown = vec!["--bogus".to_string()];
+        let err = parse_harness_args(&unknown, &["--timings"]).unwrap_err();
+        assert!(err.contains("unknown flag '--bogus'"), "{err}");
+    }
+
+    #[test]
+    fn timings_flag_and_resolution_parse() {
+        let cli = vec!["--timings".to_string(), "--smoke".to_string()];
+        let args = parse_harness_args(&cli, &["--timings"]).expect("valid");
+        assert!(args.has("--timings"));
+        assert_eq!(args.resolution_or(Resolution::Fast), Resolution::Smoke);
+    }
 }

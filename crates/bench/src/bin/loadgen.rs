@@ -97,6 +97,7 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
 /// all request latencies in microseconds. Any non-200 aborts the run.
 fn run_phase(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<Vec<u64>, String> {
     let clients = clients.min(bodies.len()).max(1);
+    // pvlint: allow(D03): load-generator clients are wall-clock actors by design; no placement result flows through them
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {

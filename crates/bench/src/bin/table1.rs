@@ -3,14 +3,27 @@
 //!
 //! Usage: `cargo run -p pv-bench --bin table1 --release [--fast|--smoke] [--threads N]`
 
-use pv_bench::{compare_row_with, extract_scenario_with, runtime_from_args, Resolution};
+use pv_bench::{
+    compare_row_with, extract_scenario_with, parse_harness_args, HarnessArgs, Resolution,
+};
 use pv_floorplan::Table1Report;
 use pv_gis::paper_roofs;
 use std::time::Instant;
 
 fn main() {
-    let resolution = Resolution::from_args();
-    let runtime = runtime_from_args();
+    let cli: Vec<String> = std::env::args().skip(1).collect();
+    match parse_harness_args(&cli, &[]) {
+        Ok(args) => run(&args),
+        Err(e) => {
+            eprintln!("Error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: &HarnessArgs) {
+    let resolution = args.resolution_or(Resolution::Paper);
+    let runtime = args.runtime();
     println!("Table I reproduction — {}", resolution.label());
     println!("(absolute MWh depend on the synthetic weather; the paper's");
     println!(" published % gains are shown in the right column)\n");
@@ -33,4 +46,26 @@ fn main() {
     }
     println!("{report}");
     println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_paths_return_messages_not_panics() {
+        let unknown = vec!["--frobnicate".to_string()];
+        let err = parse_harness_args(&unknown, &[]).unwrap_err();
+        assert!(err.contains("unknown flag '--frobnicate'"), "{err}");
+        let dangling = vec!["--threads".to_string()];
+        let err = parse_harness_args(&dangling, &[]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn defaults_to_paper_resolution() {
+        let args = parse_harness_args(&[], &[]).expect("empty args are valid");
+        assert_eq!(args.resolution_or(Resolution::Paper), Resolution::Paper);
+        assert!(args.threads.is_none());
+    }
 }

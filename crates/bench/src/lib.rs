@@ -102,6 +102,79 @@ pub fn runtime_from_args() -> Runtime {
     }
 }
 
+/// Parsed form of the shared harness CLI
+/// (`[--paper|--fast|--smoke] [--threads N]` plus bin-specific boolean
+/// flags). Built by [`parse_harness_args`]; pure data so bins can
+/// unit-test their argument handling without spawning a process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Explicit resolution flag, if any (bins pick their own default).
+    pub resolution: Option<Resolution>,
+    /// Explicit `--threads N`, if any.
+    pub threads: Option<usize>,
+    /// Bin-specific boolean flags that were present, verbatim.
+    pub extra: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// The runtime this invocation pinned: `--threads N` when given,
+    /// otherwise [`Runtime::from_env`].
+    #[must_use]
+    pub fn runtime(&self) -> Runtime {
+        self.threads
+            .map_or_else(Runtime::from_env, Runtime::with_threads)
+    }
+
+    /// The resolution, falling back to the bin's default.
+    #[must_use]
+    pub fn resolution_or(&self, default: Resolution) -> Resolution {
+        self.resolution.unwrap_or(default)
+    }
+
+    /// Whether a bin-specific flag (from `extra_flags`) was passed.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.extra.iter().any(|present| present == flag)
+    }
+}
+
+/// Pure parser behind the harness bins' shared CLI, per the workspace
+/// error-path convention: parse failures are `Err` strings the bin
+/// prints as `Error: …` before exiting 1 — never panics, and unknown
+/// flags are rejected instead of silently ignored. `extra_flags` lists
+/// the bin's own boolean flags (e.g. `--timings`).
+///
+/// # Errors
+///
+/// A message naming the offending flag or `--threads` value.
+pub fn parse_harness_args(args: &[String], extra_flags: &[&str]) -> Result<HarnessArgs, String> {
+    let mut parsed = HarnessArgs {
+        resolution: None,
+        threads: None,
+        extra: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--paper" => parsed.resolution = Some(Resolution::Paper),
+            "--fast" => parsed.resolution = Some(Resolution::Fast),
+            "--smoke" => parsed.resolution = Some(Resolution::Smoke),
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or("--threads expects a positive integer, got nothing")?;
+                let n = pv_runtime::parse_threads(value).ok_or_else(|| {
+                    format!("--threads expects a positive integer, got '{value}'")
+                })?;
+                parsed.threads = Some(n);
+            }
+            other if extra_flags.contains(&other) => parsed.extra.push(other.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
 /// Extracts the solar dataset of a paper roof at the given resolution,
 /// on [`Runtime::from_env`] workers.
 #[must_use]

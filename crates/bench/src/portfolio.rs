@@ -374,6 +374,7 @@ pub fn drive(
     let records = run_portfolio(&corpus, opts);
     print!("{}", format_table(&records));
     let total: f64 = records.iter().map(|r| r.greedy_wh).sum();
+    // pvlint: allow(R02): drive() is the body of `pvplan suite`; stdout is its user interface
     println!(
         "{} scenario(s), total greedy energy {:.1} Wh, {:.2} s wall",
         records.len(),
@@ -392,7 +393,7 @@ pub fn drive(
             .map(|()| PathBuf::from(path))?,
         None => write_portfolio_records(corpus.name(), &scale, &records)?,
     };
-    println!("wrote {}", path.display());
+    println!("wrote {}", path.display()); // pvlint: allow(R02): drive() is the body of `pvplan suite`; stdout is its user interface
     Ok(path)
 }
 

@@ -1,0 +1,411 @@
+//! A byte-classifying lexer for Rust source: enough syntax to tell code
+//! from comments, strings and char literals, and nothing more.
+//!
+//! The rule engine in [`crate::rules`] never wants a token stream — it
+//! wants to know, for every byte of a source file, whether that byte is
+//! *executable code* or inert text (a comment, a string literal, a char
+//! literal). Classification lets it blank the inert bytes out and run
+//! plain substring searches that cannot fire inside `"call .unwrap()"`
+//! or `// the old HashMap version`.
+//!
+//! Handled: `//` line comments, nested `/* /* */ */` block comments,
+//! cooked strings with escapes, raw strings `r#"…"#` with any number of
+//! hashes, byte/C strings (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`), byte
+//! chars `b'…'`, and the char-literal-vs-lifetime ambiguity (`'a'` is a
+//! literal, `'a` in `&'a T` is code). The classifier is total: every
+//! byte of arbitrary input gets a class and unterminated constructs run
+//! to end of input instead of panicking (pinned by a proptest).
+
+/// Classification of a single byte of Rust source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteClass {
+    /// Executable source: identifiers, punctuation, whitespace, lifetimes.
+    Code,
+    /// Inside a `//` line comment (the `//` included, the newline not).
+    LineComment,
+    /// Inside a (possibly nested) `/* … */` block comment, delimiters included.
+    BlockComment,
+    /// Inside a string literal (cooked, raw, byte or C), prefix and quotes included.
+    Str,
+    /// Inside a character or byte-character literal, quotes included.
+    Char,
+}
+
+impl ByteClass {
+    /// True for the two comment classes.
+    pub fn is_comment(self) -> bool {
+        matches!(self, ByteClass::LineComment | ByteClass::BlockComment)
+    }
+}
+
+/// Classifies every byte of `source`. The returned vector has exactly
+/// `source.len()` entries, one per byte (multi-byte UTF-8 characters get
+/// one entry per byte, all with the same class).
+pub fn classify(source: &str) -> Vec<ByteClass> {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut classes = vec![ByteClass::Code; n];
+    let mut i = 0;
+    while i < n {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = line_comment_end(bytes, i);
+                fill(&mut classes, i, end, ByteClass::LineComment);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let end = block_comment_end(bytes, i);
+                fill(&mut classes, i, end, ByteClass::BlockComment);
+                i = end;
+            }
+            b'"' => {
+                let end = cooked_string_end(bytes, i + 1);
+                fill(&mut classes, i, end, ByteClass::Str);
+                i = end;
+            }
+            b'r' | b'b' | b'c' if !preceded_by_ident(bytes, i) => {
+                if let Some((end, class)) = prefixed_literal_end(bytes, i) {
+                    fill(&mut classes, i, end, class);
+                    i = end;
+                } else {
+                    i += 1; // plain identifier starting with r/b/c
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    fill(&mut classes, i, end, ByteClass::Char);
+                    i = end;
+                } else {
+                    i += 1; // lifetime or label: stays Code
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    classes
+}
+
+/// Produces a *masked* copy of `source`: code bytes kept verbatim, every
+/// non-code byte replaced by a space (newlines preserved so line numbers
+/// survive). Returned as bytes because blanking individual bytes of a
+/// multi-byte character need not leave valid UTF-8 boundaries intact.
+pub fn mask_code(source: &str, classes: &[ByteClass]) -> Vec<u8> {
+    source
+        .as_bytes()
+        .iter()
+        .zip(classes)
+        .map(|(&b, &class)| match class {
+            ByteClass::Code => b,
+            _ if b == b'\n' => b'\n',
+            _ => b' ',
+        })
+        .collect()
+}
+
+/// Byte ranges (`start..end`) of each maximal comment run, in order.
+/// A `//` comment never includes its newline, so consecutive line
+/// comments on separate lines are separate spans.
+pub fn comment_spans(classes: &[ByteClass]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, class) in classes.iter().enumerate() {
+        match (class.is_comment(), start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                spans.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, classes.len()));
+    }
+    spans
+}
+
+/// True if the byte before `i` continues an identifier — in that case a
+/// leading `r`/`b`/`c` is part of a name like `attr` or `limb`, not a
+/// literal prefix.
+fn preceded_by_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// ASCII identifier-continue byte.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn fill(classes: &mut [ByteClass], start: usize, end: usize, class: ByteClass) {
+    for slot in classes.iter_mut().take(end).skip(start) {
+        *slot = class;
+    }
+}
+
+/// End (exclusive) of a `//` comment starting at `start`: up to but not
+/// including the newline.
+fn line_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut j = start;
+    while j < bytes.len() && bytes[j] != b'\n' {
+        j += 1;
+    }
+    j
+}
+
+/// End (exclusive) of a block comment starting at `start` (which points
+/// at `/*`), honouring Rust's nesting. Unterminated comments extend to
+/// end of input.
+fn block_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < bytes.len() {
+        if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+            depth += 1;
+            j += 2;
+        } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+            depth = depth.saturating_sub(1);
+            j += 2;
+            if depth == 0 {
+                return j;
+            }
+        } else {
+            j += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a cooked string whose opening quote sits just
+/// before `j`. A backslash consumes the following byte, so `\"` and
+/// `\\` cannot terminate the literal early.
+fn cooked_string_end(bytes: &[u8], mut j: usize) -> usize {
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End (exclusive) of a raw string body opened with `hashes` hashes:
+/// scans for `"` followed by the same number of `#`s.
+fn raw_string_end(bytes: &[u8], mut j: usize, hashes: usize) -> usize {
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// Recognises a literal introduced by an `r`/`b`/`c` prefix at `start`:
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `cr"…"` and the byte
+/// char `b'…'`. Returns `None` when the prefix turns out to be a plain
+/// identifier (or a raw identifier like `r#match`).
+fn prefixed_literal_end(bytes: &[u8], start: usize) -> Option<(usize, ByteClass)> {
+    let mut j = start;
+    let mut raw = false;
+    match bytes[j] {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' | b'c' => {
+            j += 1;
+            if bytes.get(j) == Some(&b'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if raw {
+        let mut hashes = 0;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some((raw_string_end(bytes, j + 1, hashes), ByteClass::Str));
+        }
+        None
+    } else {
+        match bytes.get(j) {
+            Some(&b'"') => Some((cooked_string_end(bytes, j + 1), ByteClass::Str)),
+            Some(&b'\'') if bytes[start] == b'b' => {
+                char_literal_end(bytes, j).map(|end| (end, ByteClass::Char))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Disambiguates `'` at `open`: returns the end (exclusive) of a char
+/// literal, or `None` when the quote starts a lifetime or label.
+///
+/// Heuristic: `'\…'` is always a literal (closing quote sought within a
+/// short, same-line window); otherwise the quote is a literal exactly
+/// when one whole character later another `'` follows — `'a'` yes,
+/// `'a>` / `'a,` / `'static` no.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
+    match bytes.get(open + 1)? {
+        b'\\' => {
+            // Skip the backslash and the escaped byte, then look for the
+            // closing quote: covers '\n', '\'', '\\', '\u{…}'.
+            let mut j = open + 3;
+            while j < bytes.len() && j <= open + 12 {
+                match bytes[j] {
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        &b'\'' => None, // `''` is not a literal
+        &first => {
+            let len = utf8_len(first);
+            let after = open + 1 + len;
+            if bytes.get(after) == Some(&b'\'') {
+                Some(after + 1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Length in bytes of the UTF-8 character whose leading byte is `b`.
+/// Continuation or invalid bytes count as one so arbitrary input never
+/// panics the classifier.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xFF => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstructs the masked source as a string for readable asserts.
+    fn masked(source: &str) -> String {
+        let classes = classify(source);
+        String::from_utf8_lossy(&mask_code(source, &classes)).into_owned()
+    }
+
+    #[test]
+    fn line_comment_is_blanked_but_newline_survives() {
+        assert_eq!(
+            masked("let x = 1; // HashMap\nlet y;"),
+            "let x = 1;           \nlet y;"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "a /* one /* two */ still */ b";
+        assert_eq!(masked(src), "a                           b");
+        // Unbalanced: runs to end of input without panicking.
+        let classes = classify("a /* /* */ b");
+        assert_eq!(classes.last(), Some(&ByteClass::BlockComment));
+    }
+
+    #[test]
+    fn raw_string_containing_comment_markers_is_all_string() {
+        let src = "let s = r#\"no // comment /* here\"#; code()";
+        let out = masked(src);
+        assert!(out.contains("code()"));
+        assert!(!out.contains("//"));
+        assert!(!out.contains("/*"));
+    }
+
+    #[test]
+    fn string_containing_unwrap_is_masked() {
+        let out = masked("let s = \".unwrap()\"; s.len()");
+        assert!(!out.contains(".unwrap()"));
+        assert!(out.contains("s.len()"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_the_string() {
+        let out = masked(r#"let s = "a\"b.unwrap()"; done"#);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("done"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        // 'a' is a literal; 'a in a generic position is code.
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let classes = classify(src);
+        let lit_start = src.find("'a'").expect("literal present");
+        assert_eq!(classes[lit_start], ByteClass::Char);
+        let lifetime = src.find("<'a>").expect("lifetime present") + 1;
+        assert_eq!(classes[lifetime], ByteClass::Code);
+    }
+
+    #[test]
+    fn escaped_char_literals_close_correctly() {
+        for src in ["'\\n'", "'\\''", "'\\\\'", "'\\u{1F600}'"] {
+            let classes = classify(src);
+            assert!(
+                classes.iter().all(|&c| c == ByteClass::Char),
+                "{src:?} -> {classes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes_are_literals_but_identifiers_are_not() {
+        let out = masked("let b = b\"unwrap()\"; let r = br#\"spawn\"#; break_here()");
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("spawn"));
+        assert!(out.contains("break_here()"));
+        // `r` / `b` / `c` starting ordinary identifiers stay code.
+        assert_eq!(masked("return bytes(count)"), "return bytes(count)");
+    }
+
+    #[test]
+    fn raw_identifier_is_code() {
+        assert_eq!(masked("let r#match = 1;"), "let r#match = 1;");
+    }
+
+    #[test]
+    fn comment_spans_are_per_line_for_line_comments() {
+        let src = "// one\n// two\ncode();";
+        let spans = comment_spans(&classify(src));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(&src[spans[0].0..spans[0].1], "// one");
+        assert_eq!(&src[spans[1].0..spans[1].1], "// two");
+    }
+
+    #[test]
+    fn classifier_is_total_on_tricky_streams() {
+        for src in [
+            "",
+            "'",
+            "r#",
+            "b",
+            "\"unterminated",
+            "r##\"unterminated",
+            "/* /* nested forever",
+            "'\\",
+            "b'",
+        ] {
+            assert_eq!(classify(src).len(), src.len(), "{src:?}");
+        }
+    }
+}

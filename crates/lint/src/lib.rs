@@ -1,0 +1,171 @@
+//! `pv_lint` — the workspace's determinism & robustness static-analysis
+//! pass, exposed as a library so tests can pin the tree and as the
+//! `pvlint` bin for CI and humans.
+//!
+//! The repo's load-bearing contract — byte-identical placement results
+//! on any thread count, over real TCP — is dynamic-tested by proptests
+//! that *sample* executions. `pvlint` is the static half: a
+//! comment/string-aware lexer ([`lexer`]) feeds a scoped rule engine
+//! ([`rules`]) that denies the constructs which historically break that
+//! contract (hash-order iteration, wall-clock reads, ad-hoc threads,
+//! panicking request paths). Every exception must be written down next
+//! to the code as `// pvlint: allow(ID): reason`, and a stale allow is
+//! itself an error — the suppression ledger cannot rot.
+//!
+//! See DESIGN.md §"Static analysis: the determinism contract as a tool"
+//! for the rule table and the suppression grammar.
+//!
+//! ```
+//! use pv_lint::rules::lint_source;
+//!
+//! let lint = lint_source("crates/gis/src/x.rs", "use std::collections::HashMap;\n");
+//! assert_eq!(lint.findings[0].rule, "D01");
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use pv_json::{JsonValue, ObjectBuilder};
+use rules::Finding;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Schema version of the JSON artifact (`report_json`).
+pub const ARTIFACT_VERSION: usize = 1;
+
+/// Aggregated result of linting the whole workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned (test files count; they are walked
+    /// but exempt from rules).
+    pub files_scanned: usize,
+    /// All unsuppressed findings, ordered by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Total matches silenced by used `allow` pragmas across the tree.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when nothing fired: the tree honours the contract.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every workspace source under `root` (see [`walk`] for scope).
+/// Files that are not valid UTF-8 are reported as I/O errors — all
+/// first-party sources are UTF-8.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    let files_scanned = files.len();
+    for (rel, path) in files {
+        let source = std::fs::read_to_string(&path)?;
+        let lint = rules::lint_source(&rel, &source);
+        findings.extend(lint.findings);
+        suppressed += lint.suppressed;
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(Report {
+        files_scanned,
+        findings,
+        suppressed,
+    })
+}
+
+/// Renders the machine-readable artifact: a single JSON object tagged
+/// `"tool": "pvlint"` (which is how `check_bench_json` recognises it).
+pub fn report_json(report: &Report) -> String {
+    let findings: Vec<JsonValue> = report
+        .findings
+        .iter()
+        .map(|f| {
+            ObjectBuilder::new()
+                .field("rule", f.rule.as_str())
+                .field("severity", f.severity.as_str())
+                .field("file", f.path.as_str())
+                .field("line", f.line)
+                .field("message", f.message.as_str())
+                .field("excerpt", f.excerpt.as_str())
+                .build()
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("tool", "pvlint")
+        .field("version", ARTIFACT_VERSION)
+        .field("files_scanned", report.files_scanned)
+        .field("suppressed", report.suppressed)
+        .field("findings", findings)
+        .build()
+        .to_json_string()
+}
+
+/// Renders the human report: one `path:line: RULE message` block per
+/// finding with the offending line quoted, then a one-line summary.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: {} {}", f.path, f.line, f.rule, f.message);
+        let _ = writeln!(out, "    {}", f.excerpt);
+    }
+    let _ = writeln!(
+        out,
+        "pvlint: {} file(s) scanned, {} finding(s), {} suppressed by allow pragmas",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::lint_source;
+
+    #[test]
+    fn report_json_round_trips_through_pv_json() {
+        let lint = lint_source("crates/gis/src/x.rs", "use std::collections::HashMap;\n");
+        let report = Report {
+            files_scanned: 1,
+            findings: lint.findings,
+            suppressed: lint.suppressed,
+        };
+        let doc = pv_json::parse(&report_json(&report)).expect("valid JSON");
+        assert_eq!(doc.get("tool").and_then(|v| v.as_str()), Some("pvlint"));
+        assert_eq!(
+            doc.get("files_scanned").and_then(|v| v.as_number()),
+            Some(1.0)
+        );
+        let findings = doc
+            .get("findings")
+            .and_then(|v| v.as_array())
+            .expect("array");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("rule").and_then(|v| v.as_str()),
+            Some("D01")
+        );
+        assert_eq!(
+            findings[0].get("line").and_then(|v| v.as_number()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn human_report_quotes_the_offending_line() {
+        let lint = lint_source("crates/gis/src/x.rs", "use std::collections::HashMap;\n");
+        let report = Report {
+            files_scanned: 1,
+            findings: lint.findings,
+            suppressed: 0,
+        };
+        let text = render_human(&report);
+        assert!(text.contains("crates/gis/src/x.rs:1: D01"));
+        assert!(text.contains("use std::collections::HashMap;"));
+        assert!(text.contains("1 finding(s)"));
+    }
+}

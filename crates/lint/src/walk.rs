@@ -1,0 +1,85 @@
+//! Deterministic discovery of the workspace's own sources.
+//!
+//! Walks `src/`, `tests/` and every `crates/*/{src,tests,benches}`
+//! under the workspace root, collecting `.rs` files in sorted order so
+//! reports and JSON artifacts are byte-stable run to run. `vendor/`
+//! (third-party stubs) and `target/` are never entered.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
+
+/// Returns `(workspace-relative path, absolute path)` for every `.rs`
+/// file in scope, sorted by relative path. Relative paths always use
+/// `/` separators, which is what [`crate::rules::FileClass`] parses.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, top, &mut out)?;
+        }
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut names: Vec<String> = fs::read_dir(&crates)?
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| entry.path().is_dir())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        for name in names {
+            for sub in ["src", "tests", "benches"] {
+                let dir = crates.join(&name).join(sub);
+                if dir.is_dir() {
+                    collect(&dir, &format!("crates/{name}/{sub}"), &mut out)?;
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, extending `rel` with
+/// `/`-joined components. Children are visited in name order.
+fn collect(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|entry| entry.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let child_rel = format!("{rel}/{name}");
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect(&entry.path(), &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((child_rel, entry.path()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_sorted_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).expect("walk workspace");
+        let rels: Vec<&str> = files.iter().map(|(rel, _)| rel.as_str()).collect();
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+        assert!(rels.contains(&"src/bin/pvplan.rs"));
+        assert!(rels.iter().all(|rel| !rel.starts_with("vendor/")));
+        assert!(rels.iter().all(|rel| rel.ends_with(".rs")));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk order must be deterministic");
+    }
+}

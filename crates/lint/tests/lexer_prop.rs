@@ -1,0 +1,51 @@
+//! Property tests for the lexer: totality on arbitrary input.
+//!
+//! The classifier runs over every first-party source file on every CI
+//! run, so it must never panic and must assign a class to every byte —
+//! including on inputs that are not remotely valid Rust.
+
+use proptest::prelude::*;
+use pv_lint::lexer::{classify, comment_spans, mask_code, ByteClass};
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded, like any `read_to_string`
+    /// input would be) never panic the classifier, and every byte of
+    /// the input gets exactly one class.
+    #[test]
+    fn classifier_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let classes = classify(&source);
+        prop_assert_eq!(classes.len(), source.len());
+
+        // The mask is the same length and only ever blanks bytes:
+        // code bytes and newlines survive verbatim.
+        let mask = mask_code(&source, &classes);
+        prop_assert_eq!(mask.len(), source.len());
+        for ((&m, &b), &class) in mask.iter().zip(source.as_bytes()).zip(&classes) {
+            match class {
+                ByteClass::Code => prop_assert_eq!(m, b),
+                _ => prop_assert!(m == b' ' || (m == b'\n' && b == b'\n')),
+            }
+        }
+
+        // Comment spans lie within bounds and are disjoint and ordered.
+        let spans = comment_spans(&classes);
+        let mut prev_end = 0;
+        for (start, end) in spans {
+            prop_assert!(start >= prev_end && start < end && end <= source.len());
+            prev_end = end;
+        }
+    }
+
+    /// Densely syntax-flavoured input (quotes, slashes, stars, hashes)
+    /// exercises the literal/comment state machine harder than uniform
+    /// bytes; totality must still hold.
+    #[test]
+    fn classifier_is_total_on_syntax_soup(picks in prop::collection::vec(0usize..12, 0..128)) {
+        const SOUP: &[&str] = &["\"", "'", "/", "*", "#", "r", "b", "\\", "\n", "a", " ", "//"];
+        let source: String = picks.iter().map(|&i| SOUP[i % SOUP.len()]).collect();
+        let classes = classify(&source);
+        prop_assert_eq!(classes.len(), source.len());
+        prop_assert_eq!(mask_code(&source, &classes).len(), source.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! The self-lint pin: the real workspace tree must be clean.
+//!
+//! Runs the full rule engine over this repository's sources and asserts
+//! zero unsuppressed findings *and* zero unused suppressions (unused
+//! allows surface as `X01` findings), so neither a contract violation
+//! nor a stale suppression can land silently. This is the test-shaped
+//! twin of the CI `pvlint` step.
+
+use pv_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("scan workspace");
+
+    assert!(
+        report.files_scanned > 20,
+        "suspiciously small scan ({} files) — walk roots moved?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        pv_lint::render_human(&report)
+    );
+    // The tree carries deliberate, documented exceptions (e.g. the
+    // server's latency metric, the acceptor thread); if this drops to
+    // zero the pragma parser has stopped seeing them.
+    assert!(
+        report.suppressed > 0,
+        "expected at least one used allow pragma in the tree"
+    );
+}

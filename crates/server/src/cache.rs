@@ -62,8 +62,9 @@ impl SiteCache {
     pub fn get(&mut self, key: u64) -> Option<CachedSite> {
         let idx = self.entries.iter().position(|(k, _)| *k == key)?;
         let entry = self.entries.remove(idx);
+        let site = entry.1.clone();
         self.entries.push(entry);
-        Some(self.entries.last().expect("just pushed").1.clone())
+        Some(site)
     }
 
     /// Inserts (or replaces) `key`, then evicts from the cold end until

@@ -58,7 +58,8 @@ fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<String, RequestError>
                 "connection closed mid-request",
             )));
         }
-        if chunk[0] == b'\n' {
+        let [byte] = chunk;
+        if byte == b'\n' {
             if line.ends_with('\r') {
                 line.pop();
             }
@@ -67,7 +68,7 @@ fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<String, RequestError>
         if line.len() >= MAX_LINE_BYTES {
             return Err(RequestError::TooLarge);
         }
-        line.push(chunk[0] as char);
+        line.push(byte as char);
     }
 }
 
@@ -133,6 +134,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -282,7 +284,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_service_statuses() {
-        for status in [200u16, 400, 404, 405, 413, 422] {
+        for status in [200u16, 400, 404, 405, 413, 422, 503] {
             assert!(!reason(status).is_empty());
         }
         assert_eq!(reason(599), "Internal Server Error");

@@ -51,6 +51,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let stop = Arc::clone(&stop);
+            // pvlint: allow(D03): the acceptor is transport, not compute — all solve work still goes through the WorkerPool
             std::thread::Builder::new()
                 .name("pv-accept".into())
                 .spawn(move || accept_loop(&listener, &service, runtime, queue_capacity, &stop))?
@@ -108,11 +109,20 @@ fn accept_loop(
             Ok((stream, _)) => {
                 backlog.fetch_add(1, Ordering::AcqRel);
                 let service = Arc::clone(service);
-                let backlog = Arc::clone(&backlog);
-                pool.submit(move || {
-                    let depth = backlog.fetch_sub(1, Ordering::AcqRel) - 1;
-                    handle_connection(&stream, &service, depth);
+                let worker_backlog = Arc::clone(&backlog);
+                let stream = Arc::new(stream);
+                let worker_stream = Arc::clone(&stream);
+                let accepted = pool.submit(move || {
+                    let depth = worker_backlog.fetch_sub(1, Ordering::AcqRel) - 1;
+                    handle_connection(&worker_stream, &service, depth);
                 });
+                if !accepted {
+                    // The queue closed under us (shutdown raced the
+                    // accept): still answer the connection with a
+                    // structured 503 instead of resetting the socket.
+                    backlog.fetch_sub(1, Ordering::AcqRel);
+                    refuse_connection(&stream);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if stop.load(Ordering::Acquire) {
@@ -126,6 +136,21 @@ fn accept_loop(
         }
     }
     pool.shutdown(); // drain accepted connections before returning
+}
+
+/// Answers a connection the worker pool refused (queue closed during
+/// shutdown) with a structured `503` — the error-path convention is
+/// "never drop a socket you accepted".
+fn refuse_connection(stream: &TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut writer = stream;
+    let _ = write_response(
+        &mut writer,
+        503,
+        "application/json",
+        br#"{"error": "server is shutting down"}"#,
+    );
 }
 
 fn handle_connection(stream: &TcpStream, service: &PlacementService, queue_depth: usize) {
@@ -195,6 +220,23 @@ mod tests {
         let parsed = pv_json::parse(&stats).unwrap();
         assert_eq!(parsed.get("place_ok").unwrap().as_number(), Some(1.0));
         server.shutdown();
+    }
+
+    #[test]
+    fn refused_connections_get_a_structured_503() {
+        use std::io::Read;
+        // Drive the queue-closed path directly: a socket the pool will
+        // never pick up still gets an answer, not a reset.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        refuse_connection(&accepted);
+        drop(accepted);
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("shutting down"), "{response}");
     }
 
     #[test]

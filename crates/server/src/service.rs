@@ -259,10 +259,14 @@ impl PlacementService {
         let path = target.split('?').next().unwrap_or(target);
         let (status, body) = match (method, path) {
             ("GET", "/v1/healthz") => (200, r#"{"status": "ok"}"#.to_string()),
-            ("GET", "/v1/stats") => (200, self.stats_body(queue_depth)),
+            ("GET", "/v1/stats") => match self.stats_body(queue_depth) {
+                Ok(body) => (200, body),
+                Err(error) => error,
+            },
             ("POST", "/v1/place") => match core::str::from_utf8(body) {
                 Err(_) => (400, error_body("request body must be UTF-8")),
                 Ok(text) => {
+                    // pvlint: allow(D02): latency metric feeds /v1/stats only, never a place response body
                     let t0 = Instant::now();
                     match self.place(text) {
                         Ok((response, cache_hit)) => {
@@ -307,7 +311,7 @@ impl PlacementService {
             ));
         }
 
-        let (site, cache_hit) = self.site_for(&request.spec, days, step);
+        let (site, cache_hit) = self.site_for(&request.spec, days, step)?;
         let config = self.choose_config(&site, request.topology)?;
         let options = PlacerOptions {
             anneal_iterations: self.config.anneal_iterations,
@@ -348,7 +352,18 @@ impl PlacementService {
     /// later insert replaces the earlier identical entry, and both
     /// requests answer from their own (identical) data — correctness
     /// never depends on winning the race.
-    fn site_for(&self, spec: &ScenarioSpec, days: u32, step: u32) -> (CachedSite, bool) {
+    ///
+    /// # Errors
+    ///
+    /// `500` when a cache lock is poisoned or the 1×1 probe topology
+    /// cannot be built — internal states a request must answer, not
+    /// panic on.
+    fn site_for(
+        &self,
+        spec: &ScenarioSpec,
+        days: u32,
+        step: u32,
+    ) -> Result<(CachedSite, bool), (u16, String)> {
         let key = fnv1a(
             format!(
                 "{} days={days} step={step} horizon={}",
@@ -357,8 +372,13 @@ impl PlacementService {
             )
             .as_bytes(),
         );
-        if let Some(site) = self.cache.lock().expect("cache lock poisoned").get(key) {
-            return (site, true);
+        let warm = self
+            .cache
+            .lock()
+            .map_err(|_| internal_error("site cache lock poisoned"))?
+            .get(key);
+        if let Some(site) = warm {
+            return Ok((site, true));
         }
         let scenario = spec.build();
         let clock = SimulationClock::days_at_minutes(days, step);
@@ -367,8 +387,10 @@ impl PlacementService {
             .horizon_sectors(self.config.horizon_sectors)
             .runtime(Runtime::sequential())
             .extract(&scenario.dsm);
-        let probe = Topology::new(1, 1).expect("1x1 is non-empty");
-        let probe_config = FloorplanConfig::paper(probe).expect("paper module fits 20 cm grid");
+        let probe =
+            Topology::new(1, 1).map_err(|e| internal_error(&format!("probe topology: {e}")))?;
+        let probe_config = FloorplanConfig::paper(probe)
+            .map_err(|e| internal_error(&format!("probe config: {e}")))?;
         let map = SuitabilityMap::compute(&dataset, &probe_config);
         let steps = dataset.num_steps() as usize;
         let memo_budget = (steps * 8 * 1024).clamp(256 << 10, 64 << 20);
@@ -384,9 +406,9 @@ impl PlacementService {
         };
         self.cache
             .lock()
-            .expect("cache lock poisoned")
+            .map_err(|_| internal_error("site cache lock poisoned"))?
             .insert(key, site.clone());
-        (site, false)
+        Ok((site, false))
     }
 
     /// Resolves the request's topology: explicit pair, or the largest
@@ -419,20 +441,29 @@ impl PlacementService {
                 .iter()
                 .filter(|(m, n)| m * n <= self.config.max_modules)
                 .find(|&&(m, n)| {
-                    let topology = Topology::new(m, n).expect("ladder entries are non-empty");
-                    FloorplanConfig::paper(topology).is_ok_and(|config| {
-                        pv_floorplan::greedy_placement_with_map(&site.dataset, &config, &site.map)
+                    // Ladder entries are static positive pairs; anything
+                    // unbuildable simply does not fit.
+                    Topology::new(m, n)
+                        .ok()
+                        .and_then(|topology| FloorplanConfig::paper(topology).ok())
+                        .is_some_and(|config| {
+                            pv_floorplan::greedy_placement_with_map(
+                                &site.dataset,
+                                &config,
+                                &site.map,
+                            )
                             .is_ok()
-                    })
+                        })
                 })
                 .copied()
         });
         match choice {
-            Some((m, n)) => {
-                let topology = Topology::new(m, n).expect("ladder entries are non-empty");
-                FloorplanConfig::paper(topology)
-                    .map_err(|e| (400, error_body(&format!("bad topology: {e}"))))
-            }
+            Some((m, n)) => Topology::new(m, n)
+                .map_err(|e| internal_error(&format!("ladder topology {m}x{n}: {e}")))
+                .and_then(|topology| {
+                    FloorplanConfig::paper(topology)
+                        .map_err(|e| internal_error(&format!("ladder config {m}x{n}: {e}")))
+                }),
             None => Err((
                 422,
                 error_body("no ladder topology fits this site (roof too encumbered)"),
@@ -442,13 +473,20 @@ impl PlacementService {
 
     /// Renders the `/v1/stats` body. Unlike `/v1/place` responses this is
     /// *observability*, not part of the determinism contract.
-    fn stats_body(&self, queue_depth: usize) -> String {
+    ///
+    /// # Errors
+    ///
+    /// `500` when the cache lock is poisoned.
+    fn stats_body(&self, queue_depth: usize) -> Result<String, (u16, String)> {
         let snap = self.stats.snapshot();
         let (entries, bytes, budget) = {
-            let cache = self.cache.lock().expect("cache lock poisoned");
+            let cache = self
+                .cache
+                .lock()
+                .map_err(|_| internal_error("site cache lock poisoned"))?;
             (cache.len(), cache.bytes(), cache.budget_bytes())
         };
-        ObjectBuilder::new()
+        Ok(ObjectBuilder::new()
             .field("requests", snap.requests as f64)
             .field("place_ok", snap.place_ok as f64)
             .field("errors", snap.errors as f64)
@@ -462,7 +500,7 @@ impl PlacementService {
             .field("p50_ms", pv_json::rounded(snap.p50_ms, 3))
             .field("p99_ms", pv_json::rounded(snap.p99_ms, 3))
             .build()
-            .to_json_string()
+            .to_json_string())
     }
 }
 
@@ -472,6 +510,14 @@ fn error_body(msg: &str) -> String {
         .field("error", msg)
         .build()
         .to_json_string()
+}
+
+/// `500` with a structured body, for states that should be unreachable
+/// (poisoned locks, unbuildable static topologies): the client still
+/// gets an answer instead of the worker panicking mid-connection. Like
+/// every error body, it carries no timing or cache metadata.
+fn internal_error(msg: &str) -> (u16, String) {
+    (500, error_body(&format!("internal: {msg}")))
 }
 
 /// Renders the deterministic `/v1/place` response body: request identity
@@ -699,7 +745,7 @@ mod tests {
         let service = PlacementService::new(config);
         service.place(&spec_body(0)).unwrap();
         service.place(&spec_body(1)).unwrap();
-        let (_, stats) = (0, service.stats_body(0));
+        let stats = service.stats_body(0).unwrap();
         let parsed = pv_json::parse(&stats).unwrap();
         assert_eq!(parsed.get("cache_entries").unwrap().as_number(), Some(1.0));
         // Re-requesting the evicted site is a miss, not an error.

@@ -78,19 +78,26 @@ impl ServiceStats {
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
-        let mut window = self.latencies_us.lock().expect("stats lock poisoned");
-        if window.len() >= LATENCY_WINDOW {
-            // Keep the window recent: drop the oldest half in one move.
-            window.drain(..LATENCY_WINDOW / 2);
+        // A poisoned window only loses one observability sample; requests
+        // must keep flowing, so skip rather than panic.
+        if let Ok(mut window) = self.latencies_us.lock() {
+            if window.len() >= LATENCY_WINDOW {
+                // Keep the window recent: drop the oldest half in one move.
+                window.drain(..LATENCY_WINDOW / 2);
+            }
+            window.push(latency_us);
         }
-        window.push(latency_us);
     }
 
-    /// Copies the counters and computes the latency percentiles.
+    /// Copies the counters and computes the latency percentiles. A
+    /// poisoned latency window degrades to zeroed percentiles — the
+    /// counters themselves are atomics and always correct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
-        let window = self.latencies_us.lock().expect("stats lock poisoned");
-        let (p50, p99) = percentiles(&window);
+        let (p50, p99) = self
+            .latencies_us
+            .lock()
+            .map_or((0.0, 0.0), |window| percentiles(&window));
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             place_ok: self.place_ok.load(Ordering::Relaxed),
@@ -114,7 +121,9 @@ pub fn percentile_us(samples_us: &[u64], q: f64) -> f64 {
     let mut sorted = samples_us.to_vec();
     sorted.sort_unstable();
     let idx = (q * sorted.len() as f64).ceil() as usize;
-    sorted[idx.clamp(1, sorted.len()) - 1] as f64
+    sorted
+        .get(idx.clamp(1, sorted.len()) - 1)
+        .map_or(0.0, |&v| v as f64)
 }
 
 /// Computes `(p50, p99)` in microseconds (see [`percentile_us`]).

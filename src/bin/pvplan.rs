@@ -134,10 +134,10 @@ fn parse_args() -> Result<Args, String> {
                     .split(',')
                     .map(|p| p.trim().parse().map_err(|e| format!("{spec}: {e}")))
                     .collect::<Result<_, _>>()?;
-                if parts.len() != 3 {
+                let &[x, y, h] = parts.as_slice() else {
                     return Err(format!("{flag} expects X,Y,H (metres), got '{spec}'"));
-                }
-                let triple = (parts[0], parts[1], parts[2]);
+                };
+                let triple = (x, y, h);
                 if flag == "--chimney" {
                     args.chimneys.push(triple);
                 } else {
@@ -378,9 +378,10 @@ fn main() {
 /// [`main`]'s `Error:`-prefixed exit-1 convention.
 fn run() -> Result<(), String> {
     let cli: Vec<String> = std::env::args().collect();
+    let rest = cli.get(2..).unwrap_or_default();
     match cli.get(1).map(String::as_str) {
-        Some("suite") => return run_suite(&cli[2..]),
-        Some("serve") => return run_serve(&cli[2..]),
+        Some("suite") => return run_suite(rest),
+        Some("serve") => return run_serve(rest),
         _ => {}
     }
     let args = parse_args()?;

@@ -82,6 +82,59 @@ fn start_server(threads: usize) -> Server {
 }
 
 #[test]
+fn malformed_place_requests_get_a_deterministic_400_not_a_dropped_connection() {
+    // Every malformed body must produce a structured 400 whose bytes are
+    // a pure function of the request: identical on repeat, identical
+    // across worker counts, and carrying no timing or cache metadata.
+    let bad_bodies = [
+        "{".to_string(),                 // truncated JSON
+        r#"{"spec": 3}"#.to_string(),    // wrong type
+        "not a spec at all".to_string(), // not a spec string
+        r#"{"days": 9000}"#.to_string(), // out-of-range knob
+    ];
+    let mut canonical: Option<Vec<String>> = None;
+    for threads in [1usize, 3] {
+        let server = start_server(threads);
+        let mut first_pass = Vec::new();
+        for round in 0..2 {
+            for (i, body) in bad_bodies.iter().enumerate() {
+                let (status, response) =
+                    send_request(server.local_addr(), "POST", "/v1/place", body.as_bytes())
+                        .expect("transport stays up on malformed bodies");
+                assert_eq!(status, 400, "body {i}: {response}");
+                let parsed = pvfloorplan::json::parse(&response).expect("structured error body");
+                assert!(
+                    parsed.get("error").and_then(|v| v.as_str()).is_some(),
+                    "body {i}: {response}"
+                );
+                for leak in ["latency", "p50", "p99", "cache", "hit"] {
+                    assert!(
+                        !response.contains(leak),
+                        "error body leaks '{leak}': {response}"
+                    );
+                }
+                if round == 0 {
+                    first_pass.push(response);
+                } else {
+                    assert_eq!(
+                        response, first_pass[i],
+                        "400 for body {i} changed between repeats at {threads} thread(s)"
+                    );
+                }
+            }
+        }
+        match &canonical {
+            None => canonical = Some(first_pass),
+            Some(reference) => assert_eq!(
+                reference, &first_pass,
+                "400 bodies changed between worker counts"
+            ),
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
 fn responses_are_bit_identical_across_thread_counts_and_arrival_orders() {
     let bodies = request_bodies();
     let mut canonical: Option<BTreeMap<usize, String>> = None;
