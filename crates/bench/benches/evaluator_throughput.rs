@@ -20,16 +20,19 @@
 //! paying for measurements).
 //!
 //! On top of the printed numbers, the proposal loop is measured with the
-//! shared [`pv_bench::proposal_loop_timings`] probe and written to
+//! shared [`pv_bench::proposal_loop_timings`] probe, the three rebuilt
+//! lane kernels with [`pv_bench::kernel_probe_timings`] (`kernel_*`
+//! rows, lane vs scalar reference shape), and everything is written to
 //! `BENCH_evaluator.json` at the repo root, so the perf trajectory is
-//! machine-readable across PRs (CI checks the file's schema).
+//! machine-readable across PRs (CI checks the file's schema and rejects
+//! any `kernel_*` row whose speedup drops below 1).
 //!
 //! Run: `cargo bench -p pv_bench --bench evaluator_throughput`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pv_bench::{
-    extract_scenario_with, proposal_loop_timings, proposal_probe_scale, relocation_probe,
-    scalar_reference_energy, write_bench_records, Resolution, WEATHER_SEED,
+    extract_scenario_with, kernel_probe_timings, proposal_loop_timings, proposal_probe_scale,
+    relocation_probe, scalar_reference_energy, write_bench_records, Resolution, WEATHER_SEED,
 };
 use pv_floorplan::{
     greedy_placement_with_map, EnergyEvaluator, FloorplanConfig, SuitabilityMap, TraceMemo,
@@ -151,7 +154,9 @@ fn bench_evaluator(c: &mut Criterion) {
 
     // Machine-readable artifact for the CI schema check and the
     // EXPERIMENTS.md perf trajectory (one timed pass even in `--test`
-    // mode, so the smoke run still refreshes the file).
+    // mode, so the smoke run still refreshes the file). The proposal
+    // rows and the lane-kernel rows share one write — the writer
+    // replaces the whole file.
     let test_mode = std::env::args().any(|a| a == "--test");
     let timings = proposal_loop_timings(
         &dataset,
@@ -160,15 +165,25 @@ fn bench_evaluator(c: &mut Criterion) {
         &plan,
         if test_mode { 2 } else { 200 },
     );
-    let path = write_bench_records(
-        "evaluator_throughput",
-        &timings.to_records(&proposal_probe_scale()),
-    )
-    .expect("write BENCH_evaluator.json");
+    let kernels = kernel_probe_timings(&dataset, &config, &plan, if test_mode { 1 } else { 5 });
+    let mut records = timings.to_records(&proposal_probe_scale()).to_vec();
+    records.extend(kernels.to_records(&proposal_probe_scale()));
+    let path =
+        write_bench_records("evaluator_throughput", &records).expect("write BENCH_evaluator.json");
     println!(
-        "wrote {} (incremental speedup {:.2}x)",
+        "wrote {} (incremental speedup {:.2}x; avx2 lanes {}; kernels:{})",
         path.display(),
-        timings.speedup()
+        timings.speedup(),
+        if pv_gis::lanes::simd_active() {
+            "active"
+        } else {
+            "portable"
+        },
+        kernels
+            .kernels
+            .iter()
+            .map(|k| format!(" {} {:.2}x", k.name, k.speedup()))
+            .collect::<String>()
     );
 }
 

@@ -6,9 +6,11 @@
 //! `pvplan suite`) or `BENCH_server.json` (written by the `loadgen` bin)
 //! — exists and matches the schema the perf-trajectory tooling expects: a non-empty JSON array of objects, each carrying the
 //! shared string core (`bench`, `scale`, `name`) plus its variant's
-//! numeric measurements, all finite and non-negative. Exits non-zero with
-//! a diagnostic otherwise — keeping the artifacts honest and fully
-//! offline.
+//! numeric measurements, all finite and non-negative. Evaluator rows
+//! named `kernel_*` additionally act as a perf gate: their
+//! `speedup_vs_cold` (lane kernel vs its scalar reference shape) must
+//! be present and at least 1. Exits non-zero with a diagnostic
+//! otherwise — keeping the artifacts honest and fully offline.
 //!
 //! Also validates the `pvlint --json` artifact, recognised by its
 //! top-level `"tool": "pvlint"` tag: scan counters plus a findings
@@ -100,6 +102,25 @@ fn validate(doc: &str) -> Result<usize, String> {
         if item.get("ns_per_eval").is_some() {
             for key in ["ns_per_eval", "speedup_vs_cold"] {
                 check_number(item, i, key)?;
+            }
+            // Lane-kernel rows assert a regression gate, not just a
+            // schema: the lane shape must never lose to the scalar
+            // reference it replaced.
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .expect("checked just above");
+            if name.starts_with("kernel_") {
+                let speedup = item
+                    .get("speedup_vs_cold")
+                    .and_then(JsonValue::as_number)
+                    .expect("checked just above");
+                if speedup < 1.0 {
+                    return Err(format!(
+                        "record {i}: {name} speedup_vs_cold = {speedup} — the lane \
+                         kernel regressed below its scalar reference"
+                    ));
+                }
             }
         } else if item.get("rps").is_some() {
             for key in ["requests", "rps", "p50_ms", "p99_ms", "cache_hit_rate"] {
@@ -223,6 +244,26 @@ mod tests {
     #[test]
     fn accepts_the_evaluator_writer_schema() {
         assert_eq!(validate(GOOD), Ok(1));
+    }
+
+    const GOOD_KERNEL: &str = r#"[{"bench": "b", "scale": "s",
+        "name": "kernel_irradiance_census",
+        "ns_per_eval": 52000.0, "speedup_vs_cold": 8.4}]"#;
+
+    #[test]
+    fn kernel_rows_must_not_regress_below_their_scalar_reference() {
+        assert_eq!(validate(GOOD_KERNEL), Ok(1));
+        // Exactly 1.0 (break-even) passes; anything below fails.
+        let even = GOOD_KERNEL.replace("8.4", "1.0");
+        assert_eq!(validate(&even), Ok(1));
+        let regressed = GOOD_KERNEL.replace("8.4", "0.93");
+        let err = validate(&regressed).unwrap_err();
+        assert!(err.contains("kernel_irradiance_census"), "{err}");
+        assert!(err.contains("regressed"), "{err}");
+        // Non-kernel rows keep the old schema-only rule: a sub-1
+        // speedup is sane there (cold rung is 1.0 by definition).
+        let cold = GOOD.replace("1.0", "0.5");
+        assert_eq!(validate(&cold), Ok(1));
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! one year at hourly steps); the `--timings` probe is always pinned to
 //! the 30-day smoke configuration so its numbers stay comparable across
 //! runs (the EXPERIMENTS.md row is keyed to that scale). `--timings` also
-//! rewrites the machine-readable `BENCH_evaluator.json` at the repo root
-//! with the proposal-loop numbers (same schema as the
+//! prints a per-kernel breakdown of the lane-shaped hot loops (irradiance
+//! census, fused transposition + operating-point pass, string
+//! aggregation — each against its scalar reference shape) and rewrites
+//! the machine-readable `BENCH_evaluator.json` at the repo root with the
+//! proposal-loop and `kernel_*` numbers (same schema as the
 //! `evaluator_throughput` bench).
 
 use pv_bench::{
-    extract_scenario_with, parse_harness_args, proposal_loop_timings, scalar_reference_energy,
-    write_bench_records, HarnessArgs, Resolution,
+    extract_scenario_with, kernel_probe_timings, parse_harness_args, proposal_loop_timings,
+    scalar_reference_energy, write_bench_records, HarnessArgs, Resolution,
 };
 use pv_floorplan::*;
 use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
@@ -167,11 +170,34 @@ fn timings(runtime: Runtime) -> Result<(), String> {
         proposals.speedup()
     );
 
-    let path = write_bench_records(
-        "diag --timings",
-        &proposals.to_records(&pv_bench::proposal_probe_scale()),
-    )
-    .map_err(|e| format!("write BENCH_evaluator.json: {e}"))?;
+    // Per-kernel breakdown of the lane-shaped hot loops: the census,
+    // the fused transposition + operating-point pass, and the string
+    // aggregation, each against the scalar shape it replaced.
+    let kernels = kernel_probe_timings(&dataset, &config, &plan, 5);
+    println!(
+        "lane kernels ({} path):",
+        if pv_gis::lanes::simd_active() {
+            "avx2"
+        } else {
+            "portable"
+        }
+    );
+    for k in &kernels.kernels {
+        println!(
+            "  {:<26} {:9.3} ms  (scalar {:9.3} ms, {:.2}x)",
+            k.name,
+            k.lane_ns_per_eval / 1e6,
+            k.scalar_ns_per_eval / 1e6,
+            k.speedup()
+        );
+    }
+
+    let mut records = proposals
+        .to_records(&pv_bench::proposal_probe_scale())
+        .to_vec();
+    records.extend(kernels.to_records(&pv_bench::proposal_probe_scale()));
+    let path = write_bench_records("diag --timings", &records)
+        .map_err(|e| format!("write BENCH_evaluator.json: {e}"))?;
     println!("wrote {}", path.display());
     Ok(())
 }

@@ -13,8 +13,14 @@
 //!
 //! - **per-module traces** — each module's per-step mean irradiance and
 //!   operating point, in module-major SoA blocks, built in parallel at
-//!   construction ([`Runtime::for_each_chunk_mut`]) via the single-group
-//!   kernel [`pv_gis::SolarDataset::mean_irradiance_group_into`];
+//!   construction ([`Runtime::for_each_chunk_mut`]) by a *fused*
+//!   transposition + operating-point pass: each [`FUSE_TILE`]-step tile
+//!   runs the single-group POA kernel
+//!   ([`pv_gis::SolarDataset::mean_irradiance_group_into`]) and then the
+//!   lane-shaped IV sweep ([`pv_gis::lanes::operating_points`]) while
+//!   the means are still hot in cache — one sweep over the step range
+//!   instead of two, with tiling provably invisible in the bits (both
+//!   kernels are elementwise / sub-range stable);
 //! - **per-string aggregates** — each string's per-step series voltage sum
 //!   and bottleneck current, so a move touches only the affected string;
 //! - the **undo buffer** of a try/commit/rollback move API
@@ -39,7 +45,7 @@ use crate::config::FloorplanConfig;
 use crate::error::FloorplanError;
 use crate::greedy::FloorplanResult;
 use pv_geom::{CellCoord, Placement};
-use pv_gis::{IrradianceBatch, IrradianceGroup, SolarDataset};
+use pv_gis::{lanes, IrradianceBatch, IrradianceGroup, SolarDataset};
 use pv_model::{string_wiring_overhead, EmpiricalModule, ModuleModel, OperatingPoint};
 use pv_runtime::Runtime;
 use pv_units::{Amperes, Irradiance, Meters, Volts, WattHours, Watts};
@@ -55,6 +61,14 @@ const STEP_CHUNK: usize = 256;
 /// Per-module trace block layout: `[mean G | V | I]`, each of length
 /// `num_steps` — one contiguous module-major block per module.
 const TRACE_FIELDS: usize = 3;
+
+/// Steps per tile of the fused transposition + operating-point pass
+/// (≈ 3 × 512 × 8 B = 12 KiB of trace per tile, comfortably L1-resident).
+///
+/// The tile size cannot affect the output bits: the POA kernel is
+/// sub-range stable (documented contract of `mean_irradiance_group_into`)
+/// and the IV sweep is purely elementwise.
+const FUSE_TILE: usize = 512;
 
 /// Per-string aggregate block layout: `[Σ V | min I]`, each of length
 /// `num_steps`.
@@ -388,6 +402,12 @@ pub struct EvaluationContext<'d> {
     string_of: Vec<usize>,
     batch: IrradianceBatch,
     string_extra: Vec<Meters>,
+    /// The module's empirical coefficients, flattened for the lane-shaped
+    /// operating-point kernel (bit-identical to the `ModuleModel` calls).
+    iv: lanes::IvParams,
+    /// Per-step ambient temperature (°C), hoisted once so the fused IV
+    /// sweep never chases `StepConditions` per module × step.
+    ambient: Vec<f64>,
     /// Module-major trace cache: module `k` owns the contiguous block
     /// `[k·3S, (k+1)·3S)` holding its mean-irradiance, voltage and current
     /// traces (`S` steps each; zeros while the sun is down).
@@ -436,7 +456,10 @@ impl<'d> EvaluationContext<'d> {
         let batch = dataset.batch(&module_cells);
 
         let num_steps = dataset.num_steps() as usize;
-        let module = config.module();
+        let iv = module_lane_params(config.module());
+        let ambient: Vec<f64> = (0..num_steps)
+            .map(|i| dataset.conditions(i as u32).ambient.as_celsius())
+            .collect();
         let anchors: Vec<CellCoord> = plan.placement.modules().iter().map(|m| m.anchor).collect();
 
         // Per-module traces, one contiguous block per module, filled in
@@ -444,7 +467,7 @@ impl<'d> EvaluationContext<'d> {
         // anchor, so thread count cannot affect the bytes).
         let mut trace = vec![0.0f64; n_modules * TRACE_FIELDS * num_steps];
         runtime.for_each_chunk_mut(&mut trace, TRACE_FIELDS * num_steps, |k, block| {
-            fill_module_trace(dataset, &batch, module, memo, k, anchors[k], block);
+            fill_module_trace(dataset, &batch, &iv, &ambient, memo, k, anchors[k], block);
         });
 
         // Per-string aggregates over the traces.
@@ -462,6 +485,8 @@ impl<'d> EvaluationContext<'d> {
             string_of: plan.string_of.clone(),
             batch,
             string_extra: vec![Meters::ZERO; topology.strings()],
+            iv,
+            ambient,
             trace,
             agg,
             memo,
@@ -534,7 +559,8 @@ impl<'d> EvaluationContext<'d> {
         fill_module_trace(
             self.dataset,
             &self.batch,
-            self.config.module(),
+            &self.iv,
+            &self.ambient,
             self.memo,
             k,
             anchor,
@@ -801,12 +827,36 @@ const fn agg_block(j: usize, num_steps: usize) -> std::ops::Range<usize> {
     j * AGG_FIELDS * num_steps..(j + 1) * AGG_FIELDS * num_steps
 }
 
+/// Flattens the empirical module's coefficients into the lane kernel's
+/// parameter block ([`pv_gis::lanes::IvParams`]). The kernel replicates
+/// [`ModuleModel for EmpiricalModule`](pv_model::EmpiricalModule)
+/// bit-for-bit — same literals, same evaluation order — which the
+/// evaluator's proptests pin.
+#[must_use]
+pub fn module_lane_params(module: &EmpiricalModule) -> lanes::IvParams {
+    lanes::IvParams {
+        thermal_k: module.thermal_coefficient(),
+        vmp_ref: module.mp_voltage_ref().value(),
+        beta_v: module.voltage_temperature_slope(),
+        p_ref: module.rated_power().as_watts(),
+        gamma_p: module.power_temperature_slope(),
+    }
+}
+
 /// Fills module `k`'s trace block `[mean G | V | I]` for its current cell
 /// group, consulting (and feeding) the optional per-anchor memo.
+///
+/// The fused transposition + operating-point pass: each tile of steps
+/// runs the POA mean kernel and then the lane-shaped IV sweep while the
+/// means are still cache-hot, instead of two full-range sweeps. Sun-down
+/// steps carry `mean G = 0`, for which the kernel yields exact `0.0`
+/// volts and amps — the same bytes the old explicit zeroing wrote.
+#[allow(clippy::too_many_arguments)]
 fn fill_module_trace(
     dataset: &SolarDataset,
     batch: &IrradianceBatch,
-    module: &EmpiricalModule,
+    iv: &lanes::IvParams,
+    ambient: &[f64],
     memo: Option<&TraceMemo>,
     k: usize,
     anchor: CellCoord,
@@ -826,20 +876,22 @@ fn fill_module_trace(
     }
     let num_steps = block.len() / TRACE_FIELDS;
     let (means, ops) = block.split_at_mut(num_steps);
-    dataset.mean_irradiance_group_into(batch, k, 0..num_steps as u32, means);
     let (volts, amps) = ops.split_at_mut(num_steps);
-    for i in 0..num_steps {
-        let cond = dataset.conditions(i as u32);
-        if cond.sun_up {
-            let op = module.operating_point(Irradiance::from_w_per_m2(means[i]), cond.ambient);
-            volts[i] = op.voltage.value();
-            amps[i] = op.current.value();
-        } else {
-            // The block may hold a previous module's values — zero
-            // explicitly so sun-down entries are deterministic.
-            volts[i] = 0.0;
-            amps[i] = 0.0;
-        }
+    for start in (0..num_steps).step_by(FUSE_TILE) {
+        let tile = start..(start + FUSE_TILE).min(num_steps);
+        dataset.mean_irradiance_group_into(
+            batch,
+            k,
+            tile.start as u32..tile.end as u32,
+            &mut means[tile.clone()],
+        );
+        lanes::operating_points(
+            iv,
+            &means[tile.clone()],
+            &ambient[tile.clone()],
+            &mut volts[tile.clone()],
+            &mut amps[tile],
+        );
     }
     if let Some(memo) = memo {
         memo.insert(anchor, block);
@@ -847,20 +899,20 @@ fn fill_module_trace(
 }
 
 /// Fills string `j`'s aggregate block `[Σ V | min I]` from the module
-/// traces, folding members in series-connection order — the same order and
-/// operations as the cold path's inline string fold.
+/// traces, folding members in series-connection order.
+///
+/// Member-outer and elementwise (two streaming lane folds per member)
+/// rather than step-outer with an inner member gather — same per-element
+/// fold order over members, so bit-identical to the cold path's inline
+/// string fold, but the inner loops vectorize.
 fn fill_string_agg(trace: &[f64], members: &[usize], num_steps: usize, block: &mut [f64]) {
     let (v_sum, i_min) = block.split_at_mut(num_steps);
-    for i in 0..num_steps {
-        let mut v = 0.0f64;
-        let mut c = f64::INFINITY;
-        for &k in members {
-            let base = k * TRACE_FIELDS * num_steps;
-            v += trace[base + num_steps + i];
-            c = c.min(trace[base + 2 * num_steps + i]);
-        }
-        v_sum[i] = v;
-        i_min[i] = c;
+    v_sum.fill(0.0);
+    i_min.fill(f64::INFINITY);
+    for &k in members {
+        let base = k * TRACE_FIELDS * num_steps;
+        lanes::add_assign(v_sum, &trace[base + num_steps..base + 2 * num_steps]);
+        lanes::min_assign(i_min, &trace[base + 2 * num_steps..base + 3 * num_steps]);
     }
 }
 

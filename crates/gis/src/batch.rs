@@ -13,10 +13,16 @@
 //!   handful of masked popcounts per module per step instead of one bit
 //!   test per cell;
 //! - per-cell **surface normals** hoisted into the group at construction
-//!   (undulating roofs only), so the beam loop never chases the dataset's
-//!   optional normal table per step × cell;
+//!   (undulating roofs only) as three parallel `Vec<f64>` lanes, so the
+//!   beam loop never chases the dataset's optional normal table per
+//!   step × cell and the [`lanes`](crate::lanes) kernels can stream them;
 //! - on planar roofs the beam incidence cosine is shared by all cells, so
 //!   the beam term collapses to `beam_poa × unshadowed / cells`.
+//!
+//! The inner arithmetic — masked popcount census, shadow-gated beam sum —
+//! lives in [`crate::lanes`], which pins one canonical summation order
+//! across its scalar, portable-lane and (feature `simd`) AVX2
+//! implementations; see that module for the bit-identity argument.
 //!
 //! Two query shapes sit on top: [`SolarDataset::mean_irradiance_into`]
 //! (every group × a step range — the cold-evaluation kernel) and
@@ -26,6 +32,7 @@
 //! are bit-identical by construction.
 
 use crate::dataset::{SolarDataset, StepConditions};
+use crate::lanes;
 use pv_geom::CellCoord;
 
 /// Static per-group state: one cell set whose mean irradiance is wanted as
@@ -37,7 +44,9 @@ use pv_geom::CellCoord;
 /// [`IrradianceBatch::restore_group`] — no recomputation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IrradianceGroup {
-    /// `(shadow word index, bits of this group in that word)`.
+    /// `(shadow word index, bits of this group in that word)`, sorted by
+    /// word index (construction keeps the list ordered so lookups are a
+    /// binary search rather than a linear scan).
     masks: Vec<(u32, u64)>,
     /// Linear cell indices (the undulating-surface beam path).
     cells: Vec<u32>,
@@ -45,9 +54,14 @@ pub struct IrradianceGroup {
     inv_count: f64,
     /// Mean sky-view factor over the cells.
     svf_mean: f64,
-    /// Per-cell unit normals aligned with `cells`; empty on planar roofs
-    /// (every cell shares the dataset's plane normal).
-    normals: Vec<[f64; 3]>,
+    /// Per-cell unit normal components aligned with `cells`, split into
+    /// three parallel lanes for the SoA beam kernel; empty on planar
+    /// roofs (every cell shares the dataset's plane normal).
+    nx: Vec<f64>,
+    /// Normal y components (see `nx`).
+    ny: Vec<f64>,
+    /// Normal z components (see `nx`).
+    nz: Vec<f64>,
 }
 
 impl IrradianceGroup {
@@ -63,39 +77,63 @@ impl IrradianceGroup {
         let planar = dataset.is_planar();
         let mut masks: Vec<(u32, u64)> = Vec::new();
         let mut linear = Vec::with_capacity(cells.len());
-        let mut normals = Vec::with_capacity(if planar { 0 } else { cells.len() });
-        let mut svf_sum = 0.0f64;
+        let (mut nx, mut ny, mut nz) = if planar {
+            (Vec::new(), Vec::new(), Vec::new())
+        } else {
+            (
+                Vec::with_capacity(cells.len()),
+                Vec::with_capacity(cells.len()),
+                Vec::with_capacity(cells.len()),
+            )
+        };
+        let mut svfs = Vec::with_capacity(cells.len());
+        // Index into `masks` of the word the previous cell landed in.
+        // Cells of one module arrive spatially clustered, so consecutive
+        // bits usually share a word and this fast path almost always
+        // hits; the fallback is a binary search over the sorted list
+        // (with a sorted insert on miss), never a linear scan — large
+        // modules on fine grids used to make construction quadratic.
+        let mut last = usize::MAX;
         for &cell in cells {
             assert!(dims.contains(cell), "cell outside grid");
             let bit = dims.linear_index(cell);
             linear.push(bit as u32);
-            svf_sum += dataset.sky_view_factor(cell);
+            svfs.push(dataset.sky_view_factor(cell));
             if !planar {
-                normals.push(dataset.cell_normal_linear(bit));
+                let n = dataset.cell_normal_linear(bit);
+                nx.push(n[0]);
+                ny.push(n[1]);
+                nz.push(n[2]);
             }
             let word = (bit / 64) as u32;
             let mask = 1u64 << (bit % 64);
-            // Cells of one module are spatially clustered, so consecutive
-            // bits usually share a word; scan the short list rather than
-            // hashing.
-            match masks.iter_mut().find(|(w, _)| *w == word) {
-                Some((_, m)) => {
-                    // A repeated cell would skew the mean: the popcount
-                    // census counts it once while the cell count weighs it
-                    // twice.
-                    assert_eq!(*m & mask, 0, "duplicate cell in group");
-                    *m |= mask;
+            let slot = if last != usize::MAX && masks[last].0 == word {
+                last
+            } else {
+                match masks.binary_search_by_key(&word, |&(w, _)| w) {
+                    Ok(pos) => pos,
+                    Err(pos) => {
+                        masks.insert(pos, (word, 0));
+                        pos
+                    }
                 }
-                None => masks.push((word, mask)),
-            }
+            };
+            last = slot;
+            let entry = &mut masks[slot].1;
+            // A repeated cell would skew the mean: the popcount census
+            // counts it once while the cell count weighs it twice.
+            assert_eq!(*entry & mask, 0, "duplicate cell in group");
+            *entry |= mask;
         }
         let inv_count = 1.0 / cells.len() as f64;
         Self {
             masks,
             cells: linear,
             inv_count,
-            svf_mean: svf_sum * inv_count,
-            normals,
+            svf_mean: lanes::sum(&svfs) * inv_count,
+            nx,
+            ny,
+            nz,
         }
     }
 
@@ -120,31 +158,20 @@ impl IrradianceGroup {
         let s = cond.sun_direction;
         if let Some(beam_poa) = planar_beam_poa {
             // One incidence cosine for the whole roof: the beam term needs
-            // only the unshadowed-cell census.
+            // only the unshadowed-cell census, a branch-free word-at-a-time
+            // popcount stream.
             let shadowed: u32 = match shadow_row {
                 None => 0,
-                Some(words) => self
-                    .masks
-                    .iter()
-                    .map(|&(w, m)| (words[w as usize] & m).count_ones())
-                    .sum(),
+                Some(words) => lanes::masked_popcount(words, &self.masks),
             };
             let unshadowed = self.cells.len() as f64 - f64::from(shadowed);
             beam_poa * unshadowed * self.inv_count + diffuse * self.svf_mean + ground
         } else {
-            // Undulating surface: per-cell (hoisted) normals make the beam
-            // term cell-dependent; shadow tests still come from the packed
-            // row words.
-            let mut beam_sum = 0.0f64;
-            for (&bit, n) in self.cells.iter().zip(&self.normals) {
-                let shadowed = match shadow_row {
-                    None => false,
-                    Some(words) => words[bit as usize / 64] & (1u64 << (bit % 64)) != 0,
-                };
-                if !shadowed {
-                    beam_sum += (s[0] * n[0] + s[1] * n[1] + s[2] * n[2]).max(0.0);
-                }
-            }
+            // Undulating surface: per-cell (hoisted) normal lanes make the
+            // beam term cell-dependent; the shadow bit becomes a branch-free
+            // keep multiplier inside the lane kernel.
+            let beam_sum =
+                lanes::shadowed_beam_sum(&s, &self.nx, &self.ny, &self.nz, &self.cells, shadow_row);
             beam_dni * beam_sum * self.inv_count + diffuse * self.svf_mean + ground
         }
     }

@@ -1,0 +1,676 @@
+//! Lane-shaped kernels: fixed-width SoA arithmetic for the hot loops.
+//!
+//! Everything the evaluator does per `(step, group)` bottoms out in three
+//! loop shapes — a masked popcount census over shadow words, a
+//! shadow-gated beam accumulation over per-cell normals, and an
+//! elementwise operating-point sweep.  This module owns all three in a
+//! form the autovectorizer (and, behind the `simd` feature, explicit
+//! AVX2 intrinsics) can chew on: structure-of-arrays inputs, no
+//! data-dependent branches, and accumulation split across [`LANES`]
+//! fixed accumulators folded in one canonical tree order.
+//!
+//! # The bit-identity contract
+//!
+//! Floating-point addition is not associative, so "vectorize the sum"
+//! normally changes the bits.  The kernels here pin one summation order
+//! and make every implementation — branchy scalar reference, portable
+//! chunked loop, AVX2 intrinsics — reproduce it exactly:
+//!
+//! * term `i` of a reduction is added into accumulator `i % LANES`;
+//! * the accumulators are folded by [`sum_lanes`], a fixed tree
+//!   `(acc[0] + acc[2]) + (acc[1] + acc[3])`, never sequentially;
+//! * the scalar tail reuses the same `i % LANES` striding, so the result
+//!   is independent of how the body is chunked;
+//! * shadowed cells contribute an explicit `+0.0` in the branch-free
+//!   paths.  That is bit-identical to the reference's "skip" because
+//!   every beam term is `max(·, 0.0) ≥ +0.0` and the accumulators start
+//!   at `+0.0` — no `-0.0` can ever appear on either side;
+//! * no FMA contraction anywhere: every path performs the same discrete
+//!   multiply and add steps, which is why the AVX2 lane results equal
+//!   the scalar ones bit-for-bit.
+//!
+//! The `*_scalar` twins are not dead code: they are the proptest oracle
+//! (`lane_kernel_is_bit_identical_to_scalar`) and the shape a reviewer
+//! should diff against the lane loops.
+//!
+//! The `simd` feature swaps in `core::arch` x86_64 intrinsics for the
+//! two loops where autovectorization fails in practice (the shadow-gated
+//! beam gather and the blended operating-point sweep).  Dispatch is by
+//! runtime AVX2 detection with the portable loop as fallback, and by
+//! construction the choice cannot be observed in the output bits — only
+//! in the wall clock.  `pvlint` rule D05 keeps the intrinsics fenced
+//! into this one module.
+
+/// Number of parallel f64 accumulator lanes (one 256-bit AVX2 register).
+///
+/// This constant is part of the numeric contract: changing it changes
+/// the canonical summation order and therefore the bits.
+pub const LANES: usize = 4;
+
+/// Folds the four lane accumulators in the one canonical tree order:
+/// `(acc[0] + acc[2]) + (acc[1] + acc[3])`.
+///
+/// Every reduction in this module — scalar reference, portable lane
+/// loop, AVX2 path — ends in exactly this fold, which is what makes the
+/// result independent of chunking.
+#[inline]
+#[must_use]
+pub fn sum_lanes(acc: [f64; LANES]) -> f64 {
+    (acc[0] + acc[2]) + (acc[1] + acc[3])
+}
+
+/// Lane-chunked sum of a slice in the canonical order.
+///
+/// Bit-identical to [`sum_scalar`] on every input; the loop body is
+/// shaped so LLVM lowers it to packed adds.
+#[must_use]
+pub fn sum(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (a, &x) in acc.iter_mut().zip(chunk) {
+            *a += x;
+        }
+    }
+    for (a, &x) in acc.iter_mut().zip(chunks.remainder()) {
+        *a += x;
+    }
+    sum_lanes(acc)
+}
+
+/// Scalar reference for [`sum`]: one element at a time, striding the
+/// same `i % LANES` accumulators, folded by the same tree.
+#[must_use]
+pub fn sum_scalar(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    for (i, &x) in xs.iter().enumerate() {
+        acc[i % LANES] += x;
+    }
+    sum_lanes(acc)
+}
+
+/// Branch-free census of lit cells: ANDs each group mask against the
+/// step's shadow words and popcounts word-at-a-time.  There is no
+/// per-cell bit test — a 64-cell word costs one `AND` + `count_ones`.
+#[inline]
+#[must_use]
+pub fn masked_popcount(words: &[u64], masks: &[(u32, u64)]) -> u32 {
+    masks
+        .iter()
+        .map(|&(w, m)| (words[w as usize] & m).count_ones())
+        .sum()
+}
+
+/// Shadow-gated beam sum over a group's cells (undulating roofs).
+///
+/// `nx`/`ny`/`nz` are the group's unit normals in SoA layout, `cells`
+/// the matching linear cell indices, and `shadow` the step's shadow
+/// bitset (absent means nothing is shadowed).  Returns
+/// `Σ keep_i · max(s · n_i, 0)` in the canonical lane order, where
+/// `keep_i ∈ {0.0, 1.0}` comes from the shadow bit — a multiply, not a
+/// branch, so the loop pipeline never stalls on shadow patterns.
+///
+/// Bit-identical to [`shadowed_beam_sum_scalar`] on every input.
+#[must_use]
+pub fn shadowed_beam_sum(
+    sun: &[f64; 3],
+    nx: &[f64],
+    ny: &[f64],
+    nz: &[f64],
+    cells: &[u32],
+    shadow: Option<&[u64]>,
+) -> f64 {
+    debug_assert!(nx.len() == ny.len() && ny.len() == nz.len() && nz.len() == cells.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if let Some(v) = simd::try_shadowed_beam_sum(sun, nx, ny, nz, cells, shadow) {
+        return v;
+    }
+    match shadow {
+        None => beam_sum_portable(sun, nx, ny, nz),
+        Some(words) => shadowed_beam_sum_portable(sun, nx, ny, nz, cells, words),
+    }
+}
+
+/// Scalar reference for [`shadowed_beam_sum`]: per-cell bit test and a
+/// data-dependent branch, but the same strided accumulators and the
+/// same tree fold.  Skipping a shadowed cell here equals adding `+0.0`
+/// in the lane paths because the terms are non-negative.
+#[must_use]
+pub fn shadowed_beam_sum_scalar(
+    sun: &[f64; 3],
+    nx: &[f64],
+    ny: &[f64],
+    nz: &[f64],
+    cells: &[u32],
+    shadow: Option<&[u64]>,
+) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    for (i, &cell) in cells.iter().enumerate() {
+        let shadowed = match shadow {
+            None => false,
+            Some(words) => words[cell as usize / 64] & (1u64 << (cell % 64)) != 0,
+        };
+        if !shadowed {
+            let dot = sun[0] * nx[i] + sun[1] * ny[i] + sun[2] * nz[i];
+            acc[i % LANES] += dot.max(0.0);
+        }
+    }
+    sum_lanes(acc)
+}
+
+/// Unshadowed portable lane loop: plain SoA dot products, packed adds.
+fn beam_sum_portable(sun: &[f64; 3], nx: &[f64], ny: &[f64], nz: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let whole = nx.len() - nx.len() % LANES;
+    let (xs, x_tail) = nx.split_at(whole);
+    let (ys, y_tail) = ny.split_at(whole);
+    let (zs, z_tail) = nz.split_at(whole);
+    for ((x, y), z) in xs
+        .chunks_exact(LANES)
+        .zip(ys.chunks_exact(LANES))
+        .zip(zs.chunks_exact(LANES))
+    {
+        for (a, ((&x, &y), &z)) in acc.iter_mut().zip(x.iter().zip(y).zip(z)) {
+            let dot = sun[0] * x + sun[1] * y + sun[2] * z;
+            *a += dot.max(0.0);
+        }
+    }
+    for (a, ((&x, &y), &z)) in acc.iter_mut().zip(x_tail.iter().zip(y_tail).zip(z_tail)) {
+        let dot = sun[0] * x + sun[1] * y + sun[2] * z;
+        *a += dot.max(0.0);
+    }
+    sum_lanes(acc)
+}
+
+/// `1.0` when `cell`'s shadow bit is clear, else `0.0` — pure integer
+/// arithmetic, no branch.
+#[inline]
+fn keep_factor(words: &[u64], cell: u32) -> f64 {
+    (1 ^ ((words[cell as usize / 64] >> (cell % 64)) & 1)) as f64
+}
+
+/// Shadowed portable lane loop: the shadow bit becomes a `{0.0, 1.0}`
+/// multiplier on the clamped dot product.
+fn shadowed_beam_sum_portable(
+    sun: &[f64; 3],
+    nx: &[f64],
+    ny: &[f64],
+    nz: &[f64],
+    cells: &[u32],
+    words: &[u64],
+) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let whole = cells.len() - cells.len() % LANES;
+    for base in (0..whole).step_by(LANES) {
+        for (j, a) in acc.iter_mut().enumerate() {
+            let i = base + j;
+            let dot = sun[0] * nx[i] + sun[1] * ny[i] + sun[2] * nz[i];
+            *a += keep_factor(words, cells[i]) * dot.max(0.0);
+        }
+    }
+    for i in whole..cells.len() {
+        let dot = sun[0] * nx[i] + sun[1] * ny[i] + sun[2] * nz[i];
+        acc[i % LANES] += keep_factor(words, cells[i]) * dot.max(0.0);
+    }
+    sum_lanes(acc)
+}
+
+/// Elementwise `dst[i] += src[i]` — the string-voltage fold, one member
+/// at a time over the whole step range (member-outer, lane-friendly).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "lane add: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Elementwise `dst[i] = min(dst[i], src[i])` — the string-current fold.
+/// Uses `f64::min`, matching the per-step fold it replaces bit-for-bit
+/// (per-element fold order over members is unchanged).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn min_assign(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "lane min: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = d.min(s);
+    }
+}
+
+/// The empirical module coefficients the operating-point sweep needs,
+/// flattened to raw f64 so the kernel stays unit-free and SoA-shaped.
+/// Built from `pv_model::EmpiricalModule` by the floorplan layer; the
+/// formulas below replicate that model bit-for-bit (same literals, same
+/// evaluation order — see `ModuleModel for EmpiricalModule`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IvParams {
+    /// Roof-heating coefficient `k` (K·m²/W): `Tact = T + k·G`.
+    pub thermal_k: f64,
+    /// Reference maximum-power voltage `Vmp` (V).
+    pub vmp_ref: f64,
+    /// Voltage temperature slope `βv` (1/°C).
+    pub beta_v: f64,
+    /// Rated power at STC (W).
+    pub p_ref: f64,
+    /// Power temperature slope `γp` (1/°C).
+    pub gamma_p: f64,
+}
+
+/// Fused operating-point sweep: given per-step mean irradiance and
+/// ambient temperature lanes, fills the voltage and current lanes in
+/// one elementwise pass.  Night steps (`g ≤ 0`) and clamped voltages
+/// select exact `0.0` through conditional moves, not multiplies, so no
+/// NaN can leak out of the masked division.
+///
+/// Bit-identical to [`operating_points_scalar`] (and therefore to
+/// per-step `EmpiricalModule::operating_point` calls) on every input.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn operating_points(
+    params: &IvParams,
+    means: &[f64],
+    ambient: &[f64],
+    volts: &mut [f64],
+    amps: &mut [f64],
+) {
+    let n = means.len();
+    assert!(
+        ambient.len() == n && volts.len() == n && amps.len() == n,
+        "operating-point sweep: length mismatch"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::try_operating_points(params, means, ambient, volts, amps) {
+        return;
+    }
+    operating_points_portable(params, means, ambient, volts, amps);
+}
+
+/// Portable sweep, chunked by [`LANES`]: an all-lit chunk runs the
+/// straight-line lane arithmetic (selects compile to blends, and the
+/// division is made unconditional by substituting a unit denominator on
+/// clamped lanes — the quotient is discarded there, so the bits cannot
+/// differ); any chunk containing a night step falls back to the scalar
+/// early-return shape.  A real clock's night steps come in long runs,
+/// so the chunk test is almost perfectly predicted, and which path a
+/// step takes never changes its output bits.
+fn operating_points_portable(
+    params: &IvParams,
+    means: &[f64],
+    ambient: &[f64],
+    volts: &mut [f64],
+    amps: &mut [f64],
+) {
+    let n = means.len();
+    let whole = n - n % LANES;
+    for c in (0..whole).step_by(LANES) {
+        let all_lit = means[c..c + LANES].iter().all(|&g| g > 0.0);
+        if all_lit {
+            for j in c..c + LANES {
+                let (g, t) = (means[j], ambient[j]);
+                let tact = t + params.thermal_k * g;
+                let v_raw =
+                    (params.vmp_ref * (1.08 - params.beta_v * tact) * (0.875 + 0.000125 * g))
+                        .max(0.0);
+                let p_raw = (params.p_ref * (1.12 - params.gamma_p * tact) * 1e-3 * g).max(0.0);
+                volts[j] = v_raw;
+                let clamped = v_raw <= 0.0;
+                let amp = p_raw / if clamped { 1.0 } else { v_raw };
+                amps[j] = if clamped { 0.0 } else { amp };
+            }
+        } else {
+            operating_points_scalar(
+                params,
+                &means[c..c + LANES],
+                &ambient[c..c + LANES],
+                &mut volts[c..c + LANES],
+                &mut amps[c..c + LANES],
+            );
+        }
+    }
+    operating_points_scalar(
+        params,
+        &means[whole..],
+        &ambient[whole..],
+        &mut volts[whole..],
+        &mut amps[whole..],
+    );
+}
+
+/// Scalar reference for [`operating_points`]: the early-return shape of
+/// `EmpiricalModule::{voltage, current}`, one step at a time.
+pub fn operating_points_scalar(
+    params: &IvParams,
+    means: &[f64],
+    ambient: &[f64],
+    volts: &mut [f64],
+    amps: &mut [f64],
+) {
+    for (((&g, &t), v), a) in means
+        .iter()
+        .zip(ambient)
+        .zip(volts.iter_mut())
+        .zip(amps.iter_mut())
+    {
+        if g <= 0.0 {
+            *v = 0.0;
+            *a = 0.0;
+            continue;
+        }
+        let tact = t + params.thermal_k * g;
+        let vv = (params.vmp_ref * (1.08 - params.beta_v * tact) * (0.875 + 0.000125 * g)).max(0.0);
+        *v = vv;
+        if vv <= 0.0 {
+            *a = 0.0;
+        } else {
+            let p = (params.p_ref * (1.12 - params.gamma_p * tact) * 1e-3 * g).max(0.0);
+            *a = p / vv;
+        }
+    }
+}
+
+/// True when the build and the machine will run the AVX2 kernels — what
+/// `diag --timings` reports; the bits do not depend on the answer.
+#[must_use]
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::avx2_available()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The sanctioned `core::arch` island (pvlint rule D05): AVX2 versions
+/// of the two kernels where the portable loops fail to vectorize — the
+/// shadow-gated beam gather and the blended operating-point sweep.
+/// Each lane op mirrors one scalar op (separate mul/add, same `max`
+/// operand order, mask-AND instead of branch), so the results are
+/// bit-identical to the portable paths by construction and pinned by
+/// the same proptests.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    #![allow(unsafe_code)]
+
+    use super::{keep_factor, sum_lanes, IvParams, LANES};
+    // pvlint: allow(D05): the one sanctioned intrinsics module, feature-gated.
+    use core::arch::x86_64::{
+        _mm256_add_pd, _mm256_and_pd, _mm256_castsi256_pd, _mm256_cmp_pd, _mm256_div_pd,
+        _mm256_loadu_pd, _mm256_max_pd, _mm256_movemask_pd, _mm256_mul_pd, _mm256_set1_epi64x,
+        _mm256_set1_pd, _mm256_setr_epi64x, _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd,
+        _CMP_GT_OQ,
+    };
+
+    pub(super) fn avx2_available() -> bool {
+        // pvlint: allow(D05): runtime dispatch, still inside the sanctioned module.
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    pub(super) fn try_shadowed_beam_sum(
+        sun: &[f64; 3],
+        nx: &[f64],
+        ny: &[f64],
+        nz: &[f64],
+        cells: &[u32],
+        shadow: Option<&[u64]>,
+    ) -> Option<f64> {
+        if !avx2_available() {
+            return None;
+        }
+        // SAFETY: AVX2 presence checked above; slice lengths are equal
+        // (debug-asserted by the caller, enforced by group construction).
+        Some(unsafe { shadowed_beam_sum_avx2(sun, nx, ny, nz, cells, shadow) })
+    }
+
+    pub(super) fn try_operating_points(
+        params: &IvParams,
+        means: &[f64],
+        ambient: &[f64],
+        volts: &mut [f64],
+        amps: &mut [f64],
+    ) -> bool {
+        if !avx2_available() {
+            return false;
+        }
+        // SAFETY: AVX2 presence checked above; lengths asserted by the caller.
+        unsafe { operating_points_avx2(params, means, ambient, volts, amps) };
+        true
+    }
+
+    /// AVX2 beam gather.  The shadow keep bits are expanded to all-ones /
+    /// all-zero lane masks and ANDed into the clamped dot product: a
+    /// kept lane passes through bit-exact, a shadowed lane becomes
+    /// `+0.0` — the same `+0.0` the portable multiply produces.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shadowed_beam_sum_avx2(
+        sun: &[f64; 3],
+        nx: &[f64],
+        ny: &[f64],
+        nz: &[f64],
+        cells: &[u32],
+        shadow: Option<&[u64]>,
+    ) -> f64 {
+        let n = nx.len();
+        let whole = n - n % LANES;
+        let sx = _mm256_set1_pd(sun[0]);
+        let sy = _mm256_set1_pd(sun[1]);
+        let sz = _mm256_set1_pd(sun[2]);
+        let zero = _mm256_setzero_pd();
+        let ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+        let mut acc = zero;
+        let mut i = 0;
+        while i < whole {
+            let x = _mm256_loadu_pd(nx.as_ptr().add(i));
+            let y = _mm256_loadu_pd(ny.as_ptr().add(i));
+            let z = _mm256_loadu_pd(nz.as_ptr().add(i));
+            let dot = _mm256_add_pd(
+                _mm256_add_pd(_mm256_mul_pd(sx, x), _mm256_mul_pd(sy, y)),
+                _mm256_mul_pd(sz, z),
+            );
+            let lit = _mm256_max_pd(dot, zero);
+            let keep = match shadow {
+                None => ones,
+                Some(words) => {
+                    let m = |j: usize| -(keep_bit(words, cells[i + j]) as i64);
+                    _mm256_castsi256_pd(_mm256_setr_epi64x(m(0), m(1), m(2), m(3)))
+                }
+            };
+            acc = _mm256_add_pd(acc, _mm256_and_pd(lit, keep));
+            i += LANES;
+        }
+        let mut lanes = [0.0f64; LANES];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        for (j, a) in lanes.iter_mut().enumerate().take(n - whole) {
+            let i = whole + j;
+            let dot = sun[0] * nx[i] + sun[1] * ny[i] + sun[2] * nz[i];
+            let keep = match shadow {
+                None => 1.0,
+                Some(words) => keep_factor(words, cells[i]),
+            };
+            *a += keep * dot.max(0.0);
+        }
+        sum_lanes(lanes)
+    }
+
+    /// `1` when the cell is lit, `0` when shadowed.
+    #[inline]
+    fn keep_bit(words: &[u64], cell: u32) -> u64 {
+        1 ^ ((words[cell as usize / 64] >> (cell % 64)) & 1)
+    }
+
+    /// AVX2 operating-point sweep.  Night and clamped lanes are zeroed
+    /// by ANDing with the comparison masks — identical to the portable
+    /// `if` selects, and it neutralizes the masked lanes' `inf`/NaN
+    /// division results before they can escape.
+    #[target_feature(enable = "avx2")]
+    unsafe fn operating_points_avx2(
+        params: &IvParams,
+        means: &[f64],
+        ambient: &[f64],
+        volts: &mut [f64],
+        amps: &mut [f64],
+    ) {
+        let n = means.len();
+        let whole = n - n % LANES;
+        let zero = _mm256_setzero_pd();
+        let k = _mm256_set1_pd(params.thermal_k);
+        let vmp = _mm256_set1_pd(params.vmp_ref);
+        let beta = _mm256_set1_pd(params.beta_v);
+        let pref = _mm256_set1_pd(params.p_ref);
+        let gamma = _mm256_set1_pd(params.gamma_p);
+        let c108 = _mm256_set1_pd(1.08);
+        let c0875 = _mm256_set1_pd(0.875);
+        let c125u = _mm256_set1_pd(0.000125);
+        let c112 = _mm256_set1_pd(1.12);
+        let milli = _mm256_set1_pd(1e-3);
+        let mut i = 0;
+        while i < whole {
+            let g = _mm256_loadu_pd(means.as_ptr().add(i));
+            let lit = _mm256_cmp_pd::<_CMP_GT_OQ>(g, zero);
+            // Night run: every lane dark means every output is exactly
+            // `0.0` — skip the arithmetic, matching the scalar shape's
+            // early `continue` (roughly half of a real clock's steps).
+            if _mm256_movemask_pd(lit) == 0 {
+                _mm256_storeu_pd(volts.as_mut_ptr().add(i), zero);
+                _mm256_storeu_pd(amps.as_mut_ptr().add(i), zero);
+                i += LANES;
+                continue;
+            }
+            let t = _mm256_loadu_pd(ambient.as_ptr().add(i));
+            let tact = _mm256_add_pd(t, _mm256_mul_pd(k, g));
+            let va = _mm256_sub_pd(c108, _mm256_mul_pd(beta, tact));
+            let vb = _mm256_add_pd(c0875, _mm256_mul_pd(c125u, g));
+            let v_raw = _mm256_max_pd(_mm256_mul_pd(_mm256_mul_pd(vmp, va), vb), zero);
+            let pc = _mm256_sub_pd(c112, _mm256_mul_pd(gamma, tact));
+            let p_raw = _mm256_max_pd(
+                _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(pref, pc), milli), g),
+                zero,
+            );
+            let vpos = _mm256_cmp_pd::<_CMP_GT_OQ>(v_raw, zero);
+            let amp_mask = _mm256_and_pd(lit, vpos);
+            let v = _mm256_and_pd(v_raw, lit);
+            let a = _mm256_and_pd(_mm256_div_pd(p_raw, v_raw), amp_mask);
+            _mm256_storeu_pd(volts.as_mut_ptr().add(i), v);
+            _mm256_storeu_pd(amps.as_mut_ptr().add(i), a);
+            i += LANES;
+        }
+        super::operating_points_portable(
+            params,
+            &means[whole..],
+            &ambient[whole..],
+            &mut volts[whole..],
+            &mut amps[whole..],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_lanes_is_the_pinned_tree_order() {
+        // Hand-computed 5-element case.  The values are chosen so that
+        // the canonical strided tree and a naive sequential sum round
+        // differently — the test fails if anyone "simplifies" the fold.
+        let xs = [1e16, 1.0, -1e16, 2.0, 3.0];
+        // Strided accumulators: acc[0] = 1e16 + 3.0, acc[1] = 1.0,
+        // acc[2] = -1e16, acc[3] = 2.0; tree = (acc0 + acc2) + (acc1 + acc3).
+        let expected: f64 = ((1e16 + 3.0) + (-1e16)) + (1.0 + 2.0);
+        assert_eq!(sum(&xs).to_bits(), expected.to_bits());
+        assert_eq!(sum_scalar(&xs).to_bits(), expected.to_bits());
+        // 1e16 + 3.0 rounds to 1e16 + 4.0 (ulp at 1e16 is 2), so the
+        // tree yields 7.0 while the sequential left fold yields 5.0.
+        assert_eq!(sum(&xs), 7.0);
+        let sequential: f64 = xs.iter().sum();
+        assert_eq!(sequential, 5.0);
+    }
+
+    #[test]
+    fn chunked_sum_matches_scalar_reference_on_all_lengths() {
+        // Awkward magnitudes so any reassociation shows up in the bits.
+        let xs: Vec<f64> = (0..37)
+            .map(|i| {
+                (1.0 + f64::from(i) * 0.7).powi(i % 13 - 6) * if i % 3 == 0 { -1.0 } else { 1.0 }
+            })
+            .collect();
+        for len in 0..xs.len() {
+            let lane = sum(&xs[..len]);
+            let scalar = sum_scalar(&xs[..len]);
+            assert_eq!(lane.to_bits(), scalar.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn beam_sum_matches_scalar_on_mixed_shadow_patterns() {
+        let n = 23;
+        let cells: Vec<u32> = (0..n).map(|i| (i * 7 + 3) as u32 % 128).collect();
+        let nx: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin() * 0.4).collect();
+        let ny: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() * 0.4).collect();
+        let nz: Vec<f64> = nx
+            .iter()
+            .zip(&ny)
+            .map(|(&x, &y)| (1.0 - x * x - y * y).sqrt())
+            .collect();
+        let sun = [0.3, -0.5, 0.812_403_840_463_596];
+        let words: Vec<u64> = vec![0xDEAD_BEEF_0246_8ACE, 0x1357_9BDF_F00D_5AA5];
+        for shadow in [None, Some(words.as_slice())] {
+            let lane = shadowed_beam_sum(&sun, &nx, &ny, &nz, &cells, shadow);
+            let scalar = shadowed_beam_sum_scalar(&sun, &nx, &ny, &nz, &cells, shadow);
+            assert_eq!(lane.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn operating_points_matches_scalar_reference() {
+        let params = IvParams {
+            thermal_k: 0.035,
+            vmp_ref: 24.0,
+            beta_v: 0.0034,
+            p_ref: 165.0,
+            gamma_p: 0.0048,
+        };
+        // Includes night (0.0), negative guard values, and a point hot
+        // enough to clamp the voltage to zero (tact ≈ 318 °C).
+        let means = [0.0, 812.5, -3.0, 1000.0, 42.0, 250.0, 999.9, 1.0, 7000.0];
+        let ambient = [15.0, 25.0, 10.0, 35.0, -5.0, 20.0, 30.0, 12.0, 80.0];
+        let mut volts = [0.0f64; 9];
+        let mut amps = [0.0f64; 9];
+        let mut volts_ref = [0.0f64; 9];
+        let mut amps_ref = [0.0f64; 9];
+        operating_points(&params, &means, &ambient, &mut volts, &mut amps);
+        operating_points_scalar(&params, &means, &ambient, &mut volts_ref, &mut amps_ref);
+        for i in 0..9 {
+            assert_eq!(volts[i].to_bits(), volts_ref[i].to_bits(), "V at {i}");
+            assert_eq!(amps[i].to_bits(), amps_ref[i].to_bits(), "I at {i}");
+            assert!(amps[i].is_finite());
+        }
+        // The hot point really exercises the clamp.
+        assert_eq!(volts[8], 0.0);
+        assert_eq!(amps[8], 0.0);
+    }
+
+    #[test]
+    fn elementwise_folds_match_the_loop_shapes_they_replace() {
+        let mut v_sum = vec![0.0f64; 5];
+        let mut i_min = vec![f64::INFINITY; 5];
+        let volts = [24.1, 0.0, 18.5, 3.25, 7.0];
+        let amps = [5.5, 0.0, 6.25, f64::INFINITY, 1.0];
+        add_assign(&mut v_sum, &volts);
+        min_assign(&mut i_min, &amps);
+        assert_eq!(v_sum, volts);
+        assert_eq!(i_min, amps);
+        add_assign(&mut v_sum, &volts);
+        assert_eq!(v_sum[0], 48.2);
+    }
+}

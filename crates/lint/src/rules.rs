@@ -84,6 +84,14 @@ pub const RULES: &[Rule] = &[
         ],
     },
     Rule {
+        id: "D05",
+        severity: "deny",
+        summary:
+            "arch intrinsics outside the sanctioned lane-kernel module undermine the bit-identity \
+             audit; keep them in pv_gis::lanes behind the `simd` feature",
+        patterns: &["core::arch", "std::arch"],
+    },
+    Rule {
         id: "R01",
         severity: "deny",
         summary: "panic path in a request-serving or CLI body; return a structured error instead",
@@ -155,6 +163,9 @@ const RESULT_CRATES: &[&str] = &["units", "geom", "gis", "model", "floorplan", "
 /// * `D03` — exempt: `pv_runtime` (the one crate allowed to own threads).
 /// * `D04` — result-producing crates only (units, geom, gis, model,
 ///   floorplan, json).
+/// * `D05` — everywhere, including `crates/gis/src/lanes.rs`: the one
+///   sanctioned intrinsics module carries audited `allow(D05)` pragmas,
+///   so any *new* arch use there still demands a written reason.
 /// * `R01` — `pv_server` request paths and the `pvplan` CLI body.
 /// * `R02` — library code (anything that is not a `bin/` target).
 pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
@@ -166,6 +177,7 @@ pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
         "D02" => class.crate_name != "bench" && class.file_name != "stats.rs",
         "D03" => class.crate_name != "runtime",
         "D04" => RESULT_CRATES.contains(&class.crate_name.as_str()),
+        "D05" => true,
         "R01" => class.crate_name == "server" || rel_path == "src/bin/pvplan.rs",
         "R02" => !class.is_bin,
         _ => false,
@@ -559,6 +571,23 @@ mod tests {
         assert_eq!(fire(LIB, src), ["D04@1"]);
         assert!(fire("crates/server/src/fake.rs", src).is_empty());
         assert!(fire("src/bin/pvplan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d05_fires_everywhere_and_demands_a_pinned_allow() {
+        let src = "use core::arch::x86_64::_mm256_add_pd;\n";
+        assert_eq!(fire(LIB, src), ["D05@1"]);
+        assert_eq!(fire("crates/server/src/fake.rs", src), ["D05@1"]);
+        // Even the sanctioned module only passes via an audited pragma —
+        // bare intrinsics there are still findings.
+        assert_eq!(fire("crates/gis/src/lanes.rs", src), ["D05@1"]);
+        let pinned = "// pvlint: allow(D05): sanctioned lane-kernel intrinsics\nuse core::arch::x86_64::_mm256_add_pd;\n";
+        let lint = lint_source("crates/gis/src/lanes.rs", pinned);
+        assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+        assert_eq!(lint.suppressed, 1);
+        // Runtime detection goes through std::arch and is covered too.
+        let detect = "let ok = std::arch::is_x86_feature_detected!(\"avx2\");\n";
+        assert_eq!(fire(LIB, detect), ["D05@1"]);
     }
 
     #[test]

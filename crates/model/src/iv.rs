@@ -295,6 +295,43 @@ impl ModuleModel for SingleDiodeModule {
     }
 }
 
+/// Scalar reference for the per-step operating-point sweep: one
+/// [`ModuleModel::operating_point`] call per step, raw `f64` lanes in
+/// and out (`means` in W/m², `ambient` in °C).
+///
+/// The evaluator's hot path uses the fused SoA kernel in
+/// `pv_gis::lanes::operating_points` instead; that kernel must be — and
+/// is proptested to be — bit-identical to this sweep for the
+/// [`EmpiricalModule`](crate::EmpiricalModule). This function is the
+/// oracle, kept branchy and step-at-a-time on purpose.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn operating_point_sweep<M: ModuleModel>(
+    module: &M,
+    means: &[f64],
+    ambient: &[f64],
+    volts: &mut [f64],
+    amps: &mut [f64],
+) {
+    let n = means.len();
+    assert!(
+        ambient.len() == n && volts.len() == n && amps.len() == n,
+        "operating-point sweep: length mismatch"
+    );
+    for (((&g, &t), v), a) in means
+        .iter()
+        .zip(ambient)
+        .zip(volts.iter_mut())
+        .zip(amps.iter_mut())
+    {
+        let op = module.operating_point(Irradiance::from_w_per_m2(g), Celsius::new(t));
+        *v = op.voltage.value();
+        *a = op.current.value();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,6 @@ mod wiring;
 
 pub use array::{panel_output, PanelOutput, Topology};
 pub use error::ModelError;
-pub use iv::{IvCurve, IvPoint, SingleDiodeModule};
+pub use iv::{operating_point_sweep, IvCurve, IvPoint, SingleDiodeModule};
 pub use module::{EmpiricalModule, ModuleModel, OperatingPoint};
 pub use wiring::{string_wiring_overhead, WiringOverhead, WiringSpec};

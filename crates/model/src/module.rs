@@ -202,6 +202,27 @@ impl EmpiricalModule {
         self.isc_ref
     }
 
+    /// Reference maximum-power voltage `Vmp` (25 °C, 1000 W/m²).
+    #[inline]
+    #[must_use]
+    pub const fn mp_voltage_ref(&self) -> Volts {
+        self.vmp_ref
+    }
+
+    /// The voltage-vs-temperature slope `βv` (1/°C) of the empirical
+    /// model. Together with [`mp_voltage_ref`](Self::mp_voltage_ref),
+    /// [`rated_power`](Self::rated_power),
+    /// [`power_temperature_slope`](Self::power_temperature_slope) and
+    /// [`thermal_coefficient`](Self::thermal_coefficient) this exposes
+    /// every coefficient the lane-shaped operating-point sweep
+    /// (`pv_gis::lanes::IvParams`) needs to replicate this model
+    /// bit-for-bit.
+    #[inline]
+    #[must_use]
+    pub const fn voltage_temperature_slope(&self) -> f64 {
+        self.beta_v
+    }
+
     /// The power-vs-temperature slope `γp` (1/°C) of the empirical model,
     /// used by the floorplanner's `f(T)` suitability correction.
     #[inline]
