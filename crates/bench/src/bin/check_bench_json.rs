@@ -133,6 +133,31 @@ fn validate(doc: &str) -> Result<usize, String> {
             if rate > 1.0 {
                 return Err(format!("record {i}: cache_hit_rate {rate} exceeds 1"));
             }
+            // Restart-recovery rows (written by `loadgen --restart-recovery`)
+            // additionally report how much of the post-restart traffic the
+            // snapshot store absorbed. The hydrated row acts as a gate, not
+            // just a schema: a restart that hydrated nothing means the store
+            // silently stopped working.
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .expect("checked just above");
+            if name.starts_with("restart_") {
+                check_number(item, i, "store_hit_rate")?;
+                let store_rate = item
+                    .get("store_hit_rate")
+                    .and_then(JsonValue::as_number)
+                    .expect("checked just above");
+                if store_rate > 1.0 {
+                    return Err(format!("record {i}: store_hit_rate {store_rate} exceeds 1"));
+                }
+                if name == "restart_hydrated" && store_rate <= 0.0 {
+                    return Err(format!(
+                        "record {i}: restart_hydrated store_hit_rate = {store_rate} — the \
+                         snapshot store served nothing after the restart"
+                    ));
+                }
+            }
         } else if item.get("greedy_wh").is_some() {
             for key in [
                 "latitude_deg",
@@ -274,6 +299,40 @@ mod tests {
         assert!(validate(&bad).unwrap_err().contains("cache_hit_rate"));
         let missing = GOOD_SERVER.replace(r#""p99_ms": 9.8,"#, "");
         assert!(validate(&missing).is_err());
+    }
+
+    const GOOD_RESTART: &str = r#"[{"bench": "server_loadgen",
+        "scale": "2 sites, 2 clients, seed 2018, smoke clock",
+        "name": "restart_hydrated", "requests": 2, "rps": 205.0,
+        "p50_ms": 3.0, "p99_ms": 6.7, "cache_hit_rate": 1.0,
+        "store_hit_rate": 1.0}]"#;
+
+    #[test]
+    fn restart_rows_must_carry_a_working_store_hit_rate() {
+        assert_eq!(validate(GOOD_RESTART), Ok(1));
+        // The cold restart row legitimately has a zero store rate.
+        let cold = GOOD_RESTART
+            .replace("restart_hydrated", "restart_cold")
+            .replace(r#""store_hit_rate": 1.0"#, r#""store_hit_rate": 0.0"#);
+        assert_eq!(validate(&cold), Ok(1));
+        // Restart rows without the field fail the schema...
+        let missing = GOOD_RESTART.replace(
+            r#",
+        "store_hit_rate": 1.0"#,
+            "",
+        );
+        let err = validate(&missing).unwrap_err();
+        assert!(err.contains("store_hit_rate"), "{err}");
+        // ...an over-1 rate is a broken measurement...
+        let over = GOOD_RESTART.replace(r#""store_hit_rate": 1.0"#, r#""store_hit_rate": 1.5"#);
+        assert!(validate(&over).unwrap_err().contains("store_hit_rate"));
+        // ...and a hydrated restart that served nothing from the store
+        // is a gate failure, not a valid measurement.
+        let dead = GOOD_RESTART.replace(r#""store_hit_rate": 1.0"#, r#""store_hit_rate": 0.0"#);
+        let err = validate(&dead).unwrap_err();
+        assert!(err.contains("served nothing"), "{err}");
+        // Non-restart rows stay exempt: the plain schema has no store field.
+        assert_eq!(validate(GOOD_SERVER), Ok(1));
     }
 
     #[test]

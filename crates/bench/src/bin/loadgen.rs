@@ -8,6 +8,7 @@
 //! cargo run --release -p pv_bench --bin loadgen -- \
 //!     [--addr HOST:PORT | --spawn] [--requests N] [--clients C] \
 //!     [--sites K] [--seed S] [--threads N] [--out PATH]
+//!     [--restart-recovery] [--store-dir PATH]
 //! ```
 //!
 //! With `--spawn` (the default when `--addr` is absent) an in-process
@@ -23,6 +24,17 @@
 //!    cycling through the same `K` sites: every request hits the warm
 //!    cache. The cold-vs-warm p50 gap is the cache's measured value.
 //!
+//! `--restart-recovery` (spawn mode only) appends two more phases that
+//! measure what the snapshot store buys across a restart: the first
+//! server runs with a store at `--store-dir` (default
+//! `target/loadgen_store`) and persists its extractions; then
+//! **restart_cold** replays one request per site against a fresh
+//! storeless server (the price of a restart without persistence), and
+//! **restart_hydrated** does the same against a fresh server hydrated
+//! from the store. Both rows carry `store_hit_rate`, and the harness
+//! asserts the two servers answered byte-identically — persistence is a
+//! latency feature, never a correctness one.
+//!
 //! Bad flags exit 1 with an `Error:` message, never a panic.
 
 use pv_bench::json;
@@ -30,6 +42,7 @@ use pv_gis::ScenarioSpec;
 use pv_runtime::Runtime;
 use pv_server::http::send_request;
 use pv_server::{PlacementService, Server, ServiceConfig};
+use pv_store::SiteStore;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +56,8 @@ struct LoadgenArgs {
     seed: u64,
     threads: usize,
     out: Option<String>,
+    restart_recovery: bool,
+    store_dir: String,
 }
 
 /// Parses the harness flags. Pure — no I/O, no exits — so the error
@@ -56,6 +71,8 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
         seed: pv_gis::synth::CORPUS_SEED,
         threads: 2,
         out: None,
+        restart_recovery: false,
+        store_dir: "target/loadgen_store".to_string(),
     };
     let mut spawn = false;
     let mut it = args.iter();
@@ -83,11 +100,16 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
                     .map_err(|e| format!("--seed expects an integer, got '{spec}' ({e})"))?;
             }
             "--out" => parsed.out = Some(value("--out")?.clone()),
+            "--restart-recovery" => parsed.restart_recovery = true,
+            "--store-dir" => parsed.store_dir = value("--store-dir")?.clone(),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if spawn && parsed.addr.is_some() {
         return Err("--spawn and --addr are mutually exclusive".into());
+    }
+    if parsed.restart_recovery && parsed.addr.is_some() {
+        return Err("--restart-recovery needs spawn mode (it restarts the server)".into());
     }
     Ok(parsed)
 }
@@ -152,15 +174,18 @@ fn cache_counts(addr: SocketAddr) -> Result<(f64, f64), String> {
 }
 
 /// One artifact record: shared `bench`/`scale`/`name` core + the server
-/// measurements (the schema `check_bench_json` enforces).
+/// measurements (the schema `check_bench_json` enforces). Restart phases
+/// additionally carry `store_hit_rate` — how many of the phase's
+/// requests were answered from a store-hydrated cache entry.
 fn record(
     scale: &str,
     name: &str,
     latencies_us: &[u64],
     wall_s: f64,
     cache_hit_rate: f64,
+    store_hit_rate: Option<f64>,
 ) -> json::JsonValue {
-    json::ObjectBuilder::new()
+    let mut builder = json::ObjectBuilder::new()
         .field("bench", "server_loadgen")
         .field("scale", scale)
         .field("name", name)
@@ -177,30 +202,91 @@ fn record(
             "p99_ms",
             json::rounded(percentile_ms(latencies_us, 0.99), 3),
         )
-        .field("cache_hit_rate", json::rounded(cache_hit_rate, 4))
-        .build()
+        .field("cache_hit_rate", json::rounded(cache_hit_rate, 4));
+    if let Some(rate) = store_hit_rate {
+        builder = builder.field("store_hit_rate", json::rounded(rate, 4));
+    }
+    builder.build()
+}
+
+/// Reads one numeric field from `/v1/stats`.
+fn stat_number(addr: SocketAddr, key: &str) -> Result<f64, String> {
+    let (status, stats) =
+        send_request(addr, "GET", "/v1/stats", b"").map_err(|e| format!("stats failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("stats returned HTTP {status}"));
+    }
+    json::parse(&stats)
+        .map_err(|e| format!("stats body: {e}"))?
+        .get(key)
+        .and_then(json::JsonValue::as_number)
+        .ok_or_else(|| format!("stats body missing numeric '{key}'"))
+}
+
+/// Sequential phase that also keeps the response bodies, for the
+/// byte-identity assertion between restart phases.
+fn run_sequential_with_bodies(
+    addr: SocketAddr,
+    bodies: &[String],
+) -> Result<(Vec<u64>, Vec<String>), String> {
+    let mut latencies = Vec::with_capacity(bodies.len());
+    let mut responses = Vec::with_capacity(bodies.len());
+    for body in bodies {
+        let t0 = Instant::now();
+        let (status, response) = send_request(addr, "POST", "/v1/place", body.as_bytes())
+            .map_err(|e| format!("request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("HTTP {status}: {response}"));
+        }
+        latencies.push(t0.elapsed().as_micros() as u64);
+        responses.push(response);
+    }
+    Ok((latencies, responses))
+}
+
+/// Spawns an in-process smoke-scale server, optionally store-backed
+/// (hydrating before it binds, like `pvplan serve --store-dir`).
+fn spawn_server(
+    threads: usize,
+    store_dir: Option<&str>,
+) -> Result<(Server, Arc<PlacementService>), String> {
+    let mut service = PlacementService::new(ServiceConfig::smoke());
+    if let Some(dir) = store_dir {
+        let store = SiteStore::open(dir).map_err(|e| format!("opening store '{dir}': {e}"))?;
+        service = service.with_store(Arc::new(store));
+    }
+    let service = Arc::new(service);
+    service
+        .hydrate_store()
+        .map_err(|e| format!("hydrating store: {e}"))?;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        Runtime::with_threads(threads),
+        64,
+    )
+    .map_err(|e| format!("spawning server: {e}"))?;
+    Ok((server, service))
 }
 
 fn run(args: &LoadgenArgs) -> Result<(), String> {
     // Target: an external server, or a spawned in-process one (still real
-    // TCP on a real ephemeral port).
-    let spawned = match &args.addr {
-        Some(_) => None,
-        None => {
-            let service = Arc::new(PlacementService::new(ServiceConfig::smoke()));
-            let server = Server::bind(
-                "127.0.0.1:0",
-                service,
-                Runtime::with_threads(args.threads),
-                64,
-            )
-            .map_err(|e| format!("spawning server: {e}"))?;
-            Some(server)
+    // TCP on a real ephemeral port). In restart-recovery mode the first
+    // server is store-backed so its extractions persist across restarts.
+    let store_dir = args.restart_recovery.then_some(args.store_dir.as_str());
+    if let Some(dir) = store_dir {
+        // A stale store would warm the "cold" phase: start from scratch.
+        if std::path::Path::new(dir).exists() {
+            std::fs::remove_dir_all(dir).map_err(|e| format!("clearing store '{dir}': {e}"))?;
         }
+    }
+    let mut spawned = match &args.addr {
+        Some(_) => None,
+        None => Some(spawn_server(args.threads, store_dir)?),
     };
     let addr: SocketAddr = match (&args.addr, &spawned) {
         (Some(addr), _) => addr.parse().map_err(|e| format!("--addr '{addr}': {e}"))?,
-        (None, Some(server)) => server.local_addr(),
+        (None, Some((server, _))) => server.local_addr(),
         _ => unreachable!(),
     };
 
@@ -252,16 +338,73 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         "{} sites, {} clients, seed {}, smoke clock",
         args.sites, args.clients, args.seed
     );
-    let records = [
+    let mut records = vec![
         record(
             &scale,
             "cold",
             &cold,
             cold_wall,
             phase_rate(before_cold, before_warm),
+            None,
         ),
-        record(&scale, "warm_mix", &warm, warm_wall, hit_rate),
+        record(&scale, "warm_mix", &warm, warm_wall, hit_rate, None),
     ];
+
+    let restart = if args.restart_recovery {
+        // Shut the first server down: its accept loop drains the store's
+        // write-behind queue, so every extraction is committed on disk.
+        let (server, service) = spawned
+            .take()
+            .ok_or("--restart-recovery needs spawn mode")?;
+        server.shutdown();
+        drop(service);
+
+        // Restart A — no store: the baseline price of coming back cold.
+        let (server, _) = spawn_server(args.threads, None)?;
+        let t0 = Instant::now();
+        let (cold_lat, cold_responses) = run_sequential_with_bodies(server.local_addr(), &bodies)?;
+        let restart_cold_wall = t0.elapsed().as_secs_f64();
+        server.shutdown();
+
+        // Restart B — hydrated from the snapshot store.
+        let (server, service) = spawn_server(args.threads, store_dir)?;
+        let t0 = Instant::now();
+        let (hydrated_lat, hydrated_responses) =
+            run_sequential_with_bodies(server.local_addr(), &bodies)?;
+        let hydrated_wall = t0.elapsed().as_secs_f64();
+        let store_hits = stat_number(server.local_addr(), "store_hits")?;
+        let cache_hits = stat_number(server.local_addr(), "cache_hits")?;
+        let snapshots = stat_number(server.local_addr(), "store_hydrated")?;
+        server.shutdown();
+        drop(service);
+
+        // The acceptance gate: persistence must be invisible in the bytes.
+        if hydrated_responses != cold_responses {
+            return Err(
+                "restart recovery: hydrated responses differ from the storeless baseline".into(),
+            );
+        }
+        let n = bodies.len() as f64;
+        records.push(record(
+            &scale,
+            "restart_cold",
+            &cold_lat,
+            restart_cold_wall,
+            0.0,
+            Some(0.0),
+        ));
+        records.push(record(
+            &scale,
+            "restart_hydrated",
+            &hydrated_lat,
+            hydrated_wall,
+            cache_hits / n,
+            Some(store_hits / n),
+        ));
+        Some((cold_lat, hydrated_lat, store_hits / n, snapshots))
+    } else {
+        None
+    };
     let doc = json::render_record_array(&records);
     let path = match &args.out {
         Some(path) => std::path::PathBuf::from(path),
@@ -288,9 +431,23 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         after_warm.0 - before_cold.0,
         after_warm.1 - before_cold.1,
     );
+    if let Some((cold_lat, hydrated_lat, store_hit_rate, snapshots)) = restart {
+        println!(
+            "restart cold:     {:>5} req, p50 {:>8.2} ms (no store)",
+            cold_lat.len(),
+            percentile_ms(&cold_lat, 0.5),
+        );
+        println!(
+            "restart hydrated: {:>5} req, p50 {:>8.2} ms, store hit rate {:.3} \
+             ({snapshots} snapshot(s) hydrated, responses byte-identical)",
+            hydrated_lat.len(),
+            percentile_ms(&hydrated_lat, 0.5),
+            store_hit_rate,
+        );
+    }
     println!("wrote {}", path.display());
 
-    if let Some(server) = spawned {
+    if let Some((server, _)) = spawned {
         server.shutdown();
     }
     Ok(())
@@ -368,11 +525,34 @@ mod tests {
 
     #[test]
     fn records_match_the_server_schema_shape() {
-        let r = record("s", "cold", &[1000, 2000], 0.5, 0.25);
+        let r = record("s", "cold", &[1000, 2000], 0.5, 0.25, None);
         assert_eq!(r.get("bench").unwrap().as_str(), Some("server_loadgen"));
         assert_eq!(r.get("requests").unwrap().as_number(), Some(2.0));
         assert_eq!(r.get("rps").unwrap().as_number(), Some(4.0));
         assert!(r.get("p50_ms").unwrap().as_number().unwrap() > 0.0);
         assert_eq!(r.get("cache_hit_rate").unwrap().as_number(), Some(0.25));
+        assert!(
+            r.get("store_hit_rate").is_none(),
+            "non-restart rows omit it"
+        );
+
+        let r = record("s", "restart_hydrated", &[1000], 0.5, 1.0, Some(1.0));
+        assert_eq!(r.get("store_hit_rate").unwrap().as_number(), Some(1.0));
+    }
+
+    #[test]
+    fn restart_recovery_flags_parse_and_validate() {
+        let parsed =
+            parse_loadgen_args(&strings(&["--restart-recovery", "--store-dir", "d"])).unwrap();
+        assert!(parsed.restart_recovery);
+        assert_eq!(parsed.store_dir, "d");
+        // Default store dir, off by default.
+        let defaults = parse_loadgen_args(&[]).unwrap();
+        assert!(!defaults.restart_recovery);
+        assert_eq!(defaults.store_dir, "target/loadgen_store");
+        // Restarting an external server is not something we can do.
+        let err = parse_loadgen_args(&strings(&["--restart-recovery", "--addr", "127.0.0.1:1"]))
+            .unwrap_err();
+        assert!(err.contains("spawn mode"), "{err}");
     }
 }

@@ -111,6 +111,32 @@ impl SuitabilityMap {
         }
     }
 
+    /// Reassembles a map from its parts (the three getters), validating
+    /// their consistency. Intended for decoders of untrusted bytes
+    /// (`pv_store`); the computed path is [`compute`](Self::compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first inconsistent part: mismatched grid
+    /// dimensions, or a percentile outside `(0, 1]`.
+    pub fn from_parts(
+        scores: Grid<f64>,
+        g_percentile: Grid<f64>,
+        percentile: f64,
+    ) -> Result<Self, String> {
+        if scores.dims() != g_percentile.dims() {
+            return Err("score/percentile grid dims".into());
+        }
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err("percentile out of range".into());
+        }
+        Ok(Self {
+            scores,
+            g_percentile,
+            percentile,
+        })
+    }
+
     /// The suitability score grid (`NaN` on invalid cells).
     #[inline]
     #[must_use]

@@ -133,11 +133,122 @@ impl SolarDataset {
         }
     }
 
+    /// Non-panicking [`from_parts`](Self::from_parts) for decoders of
+    /// untrusted bytes (`pv_store`): returns a description of the first
+    /// inconsistency instead of panicking, and additionally validates that
+    /// every beam-row index points inside `shadow_rows`, so all shadow
+    /// queries on the result are in-bounds by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first inconsistent part.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_parts(
+        clock: SimulationClock,
+        dims: GridDims,
+        valid: CellMask,
+        steps: Vec<StepConditions>,
+        svf: Vec<f32>,
+        beam_row_of_step: Vec<u32>,
+        shadow_rows: Vec<u64>,
+        base_normal: [f64; 3],
+        cell_normals: Option<Vec<[f32; 3]>>,
+    ) -> Result<Self, String> {
+        if steps.len() != clock.num_steps() as usize {
+            return Err("steps length".into());
+        }
+        if svf.len() != dims.num_cells() {
+            return Err("svf length".into());
+        }
+        if beam_row_of_step.len() != clock.num_steps() as usize {
+            return Err("row map length".into());
+        }
+        let row_words = dims.num_cells().div_ceil(64);
+        if !shadow_rows.len().is_multiple_of(row_words.max(1)) {
+            return Err("shadow rows".into());
+        }
+        let num_rows = shadow_rows.len() / row_words.max(1);
+        if beam_row_of_step
+            .iter()
+            .any(|&row| row != u32::MAX && row as usize >= num_rows)
+        {
+            return Err("beam row index out of range".into());
+        }
+        if valid.dims() != dims {
+            return Err("valid mask dims".into());
+        }
+        if let Some(normals) = &cell_normals {
+            if normals.len() != dims.num_cells() {
+                return Err("cell normals length".into());
+            }
+        }
+        Ok(Self {
+            clock,
+            dims,
+            valid,
+            steps,
+            svf,
+            beam_row_of_step,
+            shadow_rows,
+            row_words,
+            base_normal,
+            cell_normals,
+        })
+    }
+
     /// The simulation clock.
     #[inline]
     #[must_use]
     pub const fn clock(&self) -> SimulationClock {
         self.clock
+    }
+
+    /// The per-step shared conditions, in step order (a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub fn step_conditions(&self) -> &[StepConditions] {
+        &self.steps
+    }
+
+    /// The per-cell sky-view factors in linear cell order (a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub fn sky_view_factors(&self) -> &[f32] {
+        &self.svf
+    }
+
+    /// The step → beam-row map (`u32::MAX` for beamless steps; a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub fn beam_row_map(&self) -> &[u32] {
+        &self.beam_row_of_step
+    }
+
+    /// The bit-packed shadow table, row-major `[beam_step][cell]` (a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub fn shadow_row_data(&self) -> &[u64] {
+        &self.shadow_rows
+    }
+
+    /// World-frame unit normal of the base roof plane (a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub const fn base_normal(&self) -> [f64; 3] {
+        self.base_normal
+    }
+
+    /// The per-cell unit normals, or `None` on planar roofs (a
+    /// [`from_parts`](Self::from_parts) part, exposed for serializers).
+    #[inline]
+    #[must_use]
+    pub fn cell_normal_data(&self) -> Option<&[[f32; 3]]> {
+        self.cell_normals.as_deref()
     }
 
     /// Number of time steps (the paper's `NT`).
@@ -609,6 +720,81 @@ mod tests {
     #[should_panic(expected = "cell outside grid")]
     fn cell_view_rejects_out_of_grid_cell() {
         let _ = tiny().cell_view(CellCoord::new(2, 0));
+    }
+
+    #[test]
+    fn try_from_parts_mirrors_from_parts_and_checks_rows() {
+        let clock = SimulationClock::days_at_minutes(1, 720);
+        let dims = GridDims::new(2, 2);
+        let up = [0.0, 0.0, 1.0];
+        let ok = SolarDataset::try_from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 4],
+            vec![0, u32::MAX],
+            vec![0b0001u64],
+            up,
+            None,
+        )
+        .expect("consistent parts decode");
+        assert_eq!(ok.num_steps(), 2);
+
+        // Same length error as the panicking constructor.
+        let err = SolarDataset::try_from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 3], // wrong
+            vec![u32::MAX; 2],
+            vec![],
+            up,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, "svf length");
+
+        // Extra check from_parts does not make: a beam-row index pointing
+        // past the shadow table is rejected instead of panicking later in
+        // `is_shadowed`.
+        let err = SolarDataset::try_from_parts(
+            clock,
+            dims,
+            CellMask::full(dims),
+            vec![StepConditions::default(); 2],
+            vec![1.0; 4],
+            vec![1, u32::MAX], // row 1 of a 1-row table
+            vec![0u64],
+            up,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("beam row"), "{err}");
+    }
+
+    #[test]
+    fn part_accessors_round_trip_through_try_from_parts() {
+        let d = tiny();
+        let rebuilt = SolarDataset::try_from_parts(
+            d.clock(),
+            d.dims(),
+            d.valid().clone(),
+            d.step_conditions().to_vec(),
+            d.sky_view_factors().to_vec(),
+            d.beam_row_map().to_vec(),
+            d.shadow_row_data().to_vec(),
+            d.base_normal(),
+            d.cell_normal_data().map(<[_]>::to_vec),
+        )
+        .expect("parts from a real dataset are consistent");
+        for cell in [CellCoord::new(0, 0), CellCoord::new(1, 0)] {
+            for i in 0..d.num_steps() {
+                assert_eq!(rebuilt.irradiance(cell, i), d.irradiance(cell, i));
+                assert_eq!(rebuilt.temperature(cell, i), d.temperature(cell, i));
+            }
+        }
     }
 
     #[test]

@@ -166,7 +166,9 @@ const RESULT_CRATES: &[&str] = &["units", "geom", "gis", "model", "floorplan", "
 /// * `D05` — everywhere, including `crates/gis/src/lanes.rs`: the one
 ///   sanctioned intrinsics module carries audited `allow(D05)` pragmas,
 ///   so any *new* arch use there still demands a written reason.
-/// * `R01` — `pv_server` request paths and the `pvplan` CLI body.
+/// * `R01` — `pv_server` request paths, `pv_store` decode/persist paths
+///   (they run inside request handling and parse untrusted bytes), and
+///   the `pvplan` CLI body.
 /// * `R02` — library code (anything that is not a `bin/` target).
 pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
     if class.is_test {
@@ -178,7 +180,11 @@ pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
         "D03" => class.crate_name != "runtime",
         "D04" => RESULT_CRATES.contains(&class.crate_name.as_str()),
         "D05" => true,
-        "R01" => class.crate_name == "server" || rel_path == "src/bin/pvplan.rs",
+        "R01" => {
+            class.crate_name == "server"
+                || class.crate_name == "store"
+                || rel_path == "src/bin/pvplan.rs"
+        }
         "R02" => !class.is_bin,
         _ => false,
     }
@@ -591,10 +597,14 @@ mod tests {
     }
 
     #[test]
-    fn r01_fires_in_server_and_pvplan_but_not_elsewhere() {
+    fn r01_fires_in_server_store_and_pvplan_but_not_elsewhere() {
         let src = "let v = thing.unwrap();\nlet w = parts[0];\npanic!(\"no\");\n";
         assert_eq!(
             fire("crates/server/src/fake.rs", src),
+            ["R01@1", "R01@2", "R01@3"]
+        );
+        assert_eq!(
+            fire("crates/store/src/fake.rs", src),
             ["R01@1", "R01@2", "R01@3"]
         );
         assert_eq!(fire("src/bin/pvplan.rs", src), ["R01@1", "R01@2", "R01@3"]);

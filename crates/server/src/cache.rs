@@ -34,6 +34,10 @@ pub struct CachedSite {
     pub ladder_choice: Arc<OnceLock<Option<(usize, usize)>>>,
     /// Budget accounting: the entry's estimated footprint.
     pub bytes: usize,
+    /// Whether this entry was hydrated from the snapshot store rather than
+    /// extracted cold; hits on hydrated entries are `store_hits` in
+    /// `/v1/stats`. Never affects response bytes.
+    pub from_store: bool,
 }
 
 /// A small LRU keyed by `u64`, evicting least-recently-used entries once
@@ -128,6 +132,7 @@ mod tests {
             memo: Arc::new(TraceMemo::new()),
             ladder_choice: Arc::new(OnceLock::new()),
             bytes,
+            from_store: false,
         }
     }
 

@@ -11,6 +11,11 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Socket read/write timeout shared by the server's per-connection
+/// sockets and the one-shot client, so "how long may one side stall"
+/// has exactly one answer. Sized for the slowest legitimate exchange —
+/// a cold `/v1/place` extraction at production clock resolution.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// Upper bound on a request body (64 KiB — a spec string is ~200 bytes).
 pub const MAX_BODY_BYTES: usize = 64 * 1024;
 /// Upper bound on one header line.
@@ -176,8 +181,8 @@ pub fn send_request(
     body: &[u8],
 ) -> std::io::Result<(u16, String)> {
     let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
     stream.set_nodelay(true)?;
     let mut writer = &stream;
     write!(

@@ -21,7 +21,7 @@
 //! |-------|--------|------|----------|
 //! | `/v1/place` | POST | spec string or JSON request | placement + energy report (JSON) |
 //! | `/v1/healthz` | GET | — | `{"status": "ok"}` |
-//! | `/v1/stats` | GET | — | cache hits/misses, queue depth, latency percentiles |
+//! | `/v1/stats` | GET | — | cache hits/misses, snapshot-store counters, queue depth, latency percentiles |
 //!
 //! # Determinism contract
 //!
@@ -32,7 +32,11 @@
 //! cache metadata is ever put in a place response. Identical requests
 //! therefore produce byte-identical bodies on any worker count and under
 //! any request interleaving — the serving-side extension of the
-//! workspace-wide determinism guarantee (DESIGN.md).
+//! workspace-wide determinism guarantee (DESIGN.md). The optional
+//! snapshot store ([`pv_store::SiteStore`], attached via
+//! [`PlacementService::with_store`]) extends "warmth is latency-only"
+//! across restarts: hydrated state changes which requests are cache
+//! hits, never what any response contains.
 //!
 //! # Example
 //!

@@ -7,7 +7,7 @@
 //! the queue is full, the acceptor blocks in `submit`, TCP backpressure
 //! reaches the clients, and memory stays flat under overload.
 
-use crate::http::{read_request, write_response, RequestError};
+use crate::http::{read_request, write_response, RequestError, IO_TIMEOUT};
 use crate::service::PlacementService;
 use pv_runtime::{Runtime, WorkerPool};
 use std::io::BufReader;
@@ -17,8 +17,6 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection socket timeouts: a stuck client cannot pin a worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// Acceptor poll interval while idle (the listener is non-blocking so
 /// shutdown never waits on a connection that may never come).
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
@@ -136,6 +134,7 @@ fn accept_loop(
         }
     }
     pool.shutdown(); // drain accepted connections before returning
+    service.drain_store(); // then flush pending snapshot writes to disk
 }
 
 /// Answers a connection the worker pool refused (queue closed during

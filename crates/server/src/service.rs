@@ -13,6 +13,7 @@ use pv_gis::ScenarioSpec;
 use pv_json::{JsonValue, ObjectBuilder};
 use pv_model::Topology;
 use pv_runtime::Runtime;
+use pv_store::{SiteStore, SnapshotMeta};
 use pv_units::SimulationClock;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -212,23 +213,51 @@ fn uint_field(value: &JsonValue, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// The site-cache key: a hash of the canonical spec string and the full
+/// extraction configuration, so two requests share an entry exactly when
+/// extraction would produce identical data. Snapshot hydration recomputes
+/// the same key from a [`SnapshotMeta`], which carries the same fields.
+fn cache_key(spec_string: &str, days: u32, step: u32, horizon_sectors: usize) -> u64 {
+    fnv1a(format!("{spec_string} days={days} step={step} horizon={horizon_sectors}").as_bytes())
+}
+
 /// The embeddable placement service (see the crate docs for the
 /// determinism contract).
 pub struct PlacementService {
     config: ServiceConfig,
     cache: Mutex<SiteCache>,
     stats: ServiceStats,
+    /// Optional snapshot store (`serve --store-dir`). Persistence is
+    /// strictly a latency feature: hydration seeds the cache, cold misses
+    /// are written behind, and response bytes never depend on it.
+    store: Option<Arc<SiteStore>>,
 }
 
 impl PlacementService {
-    /// A fresh service with an empty site cache.
+    /// A fresh service with an empty site cache and no snapshot store.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         Self {
             cache: Mutex::new(SiteCache::new(config.cache_bytes)),
             config,
             stats: ServiceStats::new(),
+            store: None,
         }
+    }
+
+    /// Attaches a snapshot store: cold extractions are persisted via the
+    /// store's write-behind queue and [`hydrate_store`](Self::hydrate_store)
+    /// can pre-seed the cache from disk.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<SiteStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached snapshot store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<SiteStore>> {
+        self.store.as_ref()
     }
 
     /// The service configuration.
@@ -241,6 +270,99 @@ impl PlacementService {
     #[must_use]
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Loads every decodable snapshot from the attached store into the
+    /// site cache and returns how many entries were seeded. Damaged files
+    /// are quarantined by the store; valid snapshots whose extraction
+    /// horizon differs from this service's configuration are counted as
+    /// skipped (their cache key could never be requested here). A service
+    /// without a store hydrates zero entries.
+    ///
+    /// # Errors
+    ///
+    /// The store directory being unlistable, or a poisoned cache lock.
+    pub fn hydrate_store(&self) -> Result<usize, String> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        let snapshots = store.hydrate().map_err(|e| e.to_string())?;
+        let mut seeded = 0;
+        for snap in snapshots {
+            if snap.meta.horizon_sectors as usize != self.config.horizon_sectors {
+                store.counters().note_skipped();
+                continue;
+            }
+            let key = cache_key(
+                &snap.meta.spec,
+                snap.meta.days,
+                snap.meta.step_minutes,
+                self.config.horizon_sectors,
+            );
+            let steps = snap.dataset.num_steps() as usize;
+            let cells = snap.dataset.dims().num_cells();
+            let memo = TraceMemo::with_byte_budget(snap.memo_budget);
+            for (anchor, trace) in &snap.memo_entries {
+                memo.seed(*anchor, Arc::clone(trace));
+            }
+            let site = CachedSite {
+                bytes: cells * steps / 8 + cells * 12 + steps * 48 + snap.memo_budget,
+                dataset: Arc::new(snap.dataset),
+                map: Arc::new(snap.map),
+                memo: Arc::new(memo),
+                ladder_choice: Arc::new(std::sync::OnceLock::new()),
+                from_store: true,
+            };
+            self.cache
+                .lock()
+                .map_err(|_| "site cache lock poisoned".to_string())?
+                .insert(key, site);
+            seeded += 1;
+        }
+        Ok(seeded)
+    }
+
+    /// Pre-warms the store for one site at the service's default clock:
+    /// solves a greedy placement (which warms the memo with real traces)
+    /// and commits the snapshot synchronously. Returns `false` without
+    /// doing any work when a committed snapshot already exists.
+    ///
+    /// # Errors
+    ///
+    /// No store attached, the solve failing, or the commit failing.
+    pub fn prewarm(&self, spec: &ScenarioSpec) -> Result<bool, String> {
+        let Some(store) = &self.store else {
+            return Err("pre-warming needs a snapshot store (--store-dir)".into());
+        };
+        let spec_string = spec.to_spec_string();
+        let days = self.config.days;
+        let step = self.config.step_minutes;
+        let key = cache_key(&spec_string, days, step, self.config.horizon_sectors);
+        if store.contains(key) {
+            return Ok(false);
+        }
+        // The solve both validates the site end-to-end and fills the memo,
+        // so the snapshot carries warm traces rather than an empty budget.
+        self.place(&spec_string).map_err(|(_, body)| body)?;
+        let (site, _) = self.site_for(spec, days, step).map_err(|(_, body)| body)?;
+        let meta = SnapshotMeta {
+            spec: spec_string,
+            days,
+            step_minutes: step,
+            horizon_sectors: self.config.horizon_sectors as u32,
+        };
+        store
+            .save(key, &meta, &site.dataset, &site.map, &site.memo)
+            .map_err(|e| e.to_string())?;
+        Ok(true)
+    }
+
+    /// Drains the attached store's write-behind queue (no-op without a
+    /// store). Call on shutdown so accepted writes reach disk.
+    pub fn drain_store(&self) {
+        if let Some(store) = &self.store {
+            store.drain();
+        }
     }
 
     /// Routes one request and produces `(status, JSON body)`.
@@ -364,13 +486,11 @@ impl PlacementService {
         days: u32,
         step: u32,
     ) -> Result<(CachedSite, bool), (u16, String)> {
-        let key = fnv1a(
-            format!(
-                "{} days={days} step={step} horizon={}",
-                spec.to_spec_string(),
-                self.config.horizon_sectors
-            )
-            .as_bytes(),
+        let key = cache_key(
+            &spec.to_spec_string(),
+            days,
+            step,
+            self.config.horizon_sectors,
         );
         let warm = self
             .cache
@@ -378,6 +498,9 @@ impl PlacementService {
             .map_err(|_| internal_error("site cache lock poisoned"))?
             .get(key);
         if let Some(site) = warm {
+            if site.from_store {
+                self.stats.record_store_hit();
+            }
             return Ok((site, true));
         }
         let scenario = spec.build();
@@ -403,11 +526,32 @@ impl PlacementService {
             map: Arc::new(map),
             memo: Arc::new(TraceMemo::with_byte_budget(memo_budget)),
             ladder_choice: Arc::new(std::sync::OnceLock::new()),
+            from_store: false,
         };
         self.cache
             .lock()
             .map_err(|_| internal_error("site cache lock poisoned"))?
             .insert(key, site.clone());
+        // Persist the cold extraction behind the response. The memo is
+        // shared live with the cache entry, so by the time the single
+        // writer thread encodes it, traces from this request are usually
+        // already in — and an emptier snapshot only costs warmth, never
+        // correctness.
+        if let Some(store) = &self.store {
+            let meta = SnapshotMeta {
+                spec: spec.to_spec_string(),
+                days,
+                step_minutes: step,
+                horizon_sectors: self.config.horizon_sectors as u32,
+            };
+            store.save_behind(
+                key,
+                meta,
+                Arc::clone(&site.dataset),
+                Arc::clone(&site.map),
+                Arc::clone(&site.memo),
+            );
+        }
         Ok((site, false))
     }
 
@@ -486,6 +630,19 @@ impl PlacementService {
                 .map_err(|_| internal_error("site cache lock poisoned"))?;
             (cache.len(), cache.bytes(), cache.budget_bytes())
         };
+        // Store counters are zeros on a storeless service so the stats
+        // schema is stable either way.
+        let (hydrated, quarantined, skipped, writes, write_errors) =
+            self.store.as_ref().map_or((0, 0, 0, 0, 0), |store| {
+                let c = store.counters();
+                (
+                    c.hydrated(),
+                    c.quarantined(),
+                    c.skipped(),
+                    c.writes(),
+                    c.write_errors(),
+                )
+            });
         Ok(ObjectBuilder::new()
             .field("requests", snap.requests as f64)
             .field("place_ok", snap.place_ok as f64)
@@ -496,6 +653,12 @@ impl PlacementService {
             .field("cache_entries", entries)
             .field("cache_bytes", bytes)
             .field("cache_budget_bytes", budget)
+            .field("store_hits", snap.store_hits as f64)
+            .field("store_hydrated", hydrated as f64)
+            .field("store_quarantined", quarantined as f64)
+            .field("store_skipped", skipped as f64)
+            .field("store_writes", writes as f64)
+            .field("store_write_errors", write_errors as f64)
             .field("queue_depth", queue_depth)
             .field("p50_ms", pv_json::rounded(snap.p50_ms, 3))
             .field("p99_ms", pv_json::rounded(snap.p99_ms, 3))
@@ -734,6 +897,99 @@ mod tests {
             pv_json::parse(&c).unwrap().get("seed").unwrap().as_str(),
             Some("2")
         );
+    }
+
+    fn store_scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pvserve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_round_trip_hydrates_and_serves_identical_bytes() {
+        let dir = store_scratch("roundtrip");
+        let body = spec_body(3);
+        let baseline = service().place(&body).unwrap().0;
+
+        let store = Arc::new(SiteStore::open(&dir).unwrap());
+        let warm = PlacementService::new(ServiceConfig::tiny()).with_store(Arc::clone(&store));
+        let spec = ScenarioSpec::parse_spec_string(&body).unwrap();
+        assert!(warm.prewarm(&spec).unwrap());
+        assert!(!warm.prewarm(&spec).unwrap(), "second pre-warm is a no-op");
+        warm.drain_store();
+        drop(warm);
+        drop(store);
+
+        // A fresh service hydrates the snapshot and answers identically
+        // from the warm entry — no extraction, same bytes.
+        let restarted = PlacementService::new(ServiceConfig::tiny())
+            .with_store(Arc::new(SiteStore::open(&dir).unwrap()));
+        assert_eq!(restarted.hydrate_store().unwrap(), 1);
+        let (hydrated, hit) = restarted.place(&body).unwrap();
+        assert!(hit, "hydrated site must be a warm cache hit");
+        assert_eq!(hydrated, baseline, "store must never change response bytes");
+        assert_eq!(restarted.stats().snapshot().store_hits, 1);
+        let stats = pv_json::parse(&restarted.stats_body(0).unwrap()).unwrap();
+        assert_eq!(stats.get("store_hits").unwrap().as_number(), Some(1.0));
+        assert_eq!(stats.get("store_hydrated").unwrap().as_number(), Some(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_falls_back_to_cold_extraction_with_identical_bytes() {
+        let dir = store_scratch("corrupt");
+        let body = spec_body(4);
+        let baseline = service().place(&body).unwrap().0;
+
+        let spec = ScenarioSpec::parse_spec_string(&body).unwrap();
+        let warm = PlacementService::new(ServiceConfig::tiny())
+            .with_store(Arc::new(SiteStore::open(&dir).unwrap()));
+        warm.prewarm(&spec).unwrap();
+        drop(warm);
+
+        // Flip one byte in the committed snapshot.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "pvsnap"))
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let restarted = PlacementService::new(ServiceConfig::tiny())
+            .with_store(Arc::new(SiteStore::open(&dir).unwrap()));
+        assert_eq!(restarted.hydrate_store().unwrap(), 0);
+        let counters_quarantined = restarted.store().unwrap().counters().quarantined();
+        assert_eq!(counters_quarantined, 1);
+        let (response, hit) = restarted.place(&body).unwrap();
+        assert!(!hit, "a quarantined snapshot means a cold miss");
+        assert_eq!(response, baseline, "fallback must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hydration_skips_snapshots_from_a_different_horizon() {
+        let dir = store_scratch("skew");
+        let spec = ScenarioSpec::generate(2018, 5);
+        let warm = PlacementService::new(ServiceConfig::tiny())
+            .with_store(Arc::new(SiteStore::open(&dir).unwrap()));
+        warm.prewarm(&spec).unwrap();
+        drop(warm);
+
+        // `smoke` extracts with a different horizon: the snapshot is
+        // valid but can never match a key this service computes.
+        let other = PlacementService::new(ServiceConfig::smoke())
+            .with_store(Arc::new(SiteStore::open(&dir).unwrap()));
+        assert_eq!(other.hydrate_store().unwrap(), 0);
+        assert_eq!(other.store().unwrap().counters().skipped(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct ServiceStats {
     errors: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    store_hits: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -34,6 +35,9 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// `/v1/place` requests that had to extract the site cold.
     pub cache_misses: u64,
+    /// Cache hits landing on an entry hydrated from the snapshot store —
+    /// work the store saved from being re-extracted.
+    pub store_hits: u64,
     /// Median `/v1/place` latency over the recent window, ms.
     pub p50_ms: f64,
     /// 99th-percentile `/v1/place` latency over the recent window, ms.
@@ -70,6 +74,11 @@ impl ServiceStats {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one cache hit that landed on a store-hydrated entry.
+    pub fn record_store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one successful place solve: its cache outcome and latency.
     pub fn record_place(&self, cache_hit: bool, latency_us: u64) {
         self.place_ok.fetch_add(1, Ordering::Relaxed);
@@ -104,6 +113,7 @@ impl ServiceStats {
             errors: self.errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             p50_ms: p50 / 1e3,
             p99_ms: p99 / 1e3,
         }
@@ -146,12 +156,14 @@ mod tests {
         stats.record_error();
         stats.record_place(true, 1_000);
         stats.record_place(false, 3_000);
+        stats.record_store_hit();
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.place_ok, 2);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.store_hits, 1);
         assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
         assert!(snap.p50_ms > 0.0 && snap.p99_ms >= snap.p50_ms);
     }

@@ -1,0 +1,246 @@
+//! Little-endian wire primitives: CRC32 and a bounded, total reader.
+//!
+//! Everything here is panic-free by construction (pvlint rule R01 covers
+//! this crate): no slice indexing, no `unwrap`/`expect`, every read
+//! validated against the remaining buffer before it happens.
+
+use crate::StoreError;
+use std::sync::OnceLock;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// Matches the ubiquitous zlib/`cksum -o3` definition so snapshots can be
+/// checked with standard tools.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = !0u32;
+    for &b in bytes {
+        let idx = ((c ^ u32::from(b)) & 0xFF) as usize;
+        c = (c >> 8) ^ table.get(idx).copied().unwrap_or(0);
+    }
+    !c
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        std::array::from_fn(|i| {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            c
+        })
+    })
+}
+
+/// Copies up to 4 bytes of `src` into a little-endian array (short input
+/// zero-pads, which callers prevent by sizing their `take`).
+fn le4(src: &[u8]) -> [u8; 4] {
+    let mut a = [0u8; 4];
+    for (d, s) in a.iter_mut().zip(src) {
+        *d = *s;
+    }
+    a
+}
+
+fn le8(src: &[u8]) -> [u8; 8] {
+    let mut a = [0u8; 8];
+    for (d, s) in a.iter_mut().zip(src) {
+        *d = *s;
+    }
+    a
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounded cursor over untrusted bytes. Every accessor returns
+/// [`StoreError::Corrupt`] instead of reading past the end.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next `n` bytes, or fails with a message naming `what`.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        match (self.buf.get(..n), self.buf.get(n..)) {
+            (Some(head), Some(tail)) => {
+                self.buf = tail;
+                Ok(head)
+            }
+            _ => Err(StoreError::Corrupt(format!(
+                "truncated reading {what}: need {n} bytes, have {}",
+                self.buf.len()
+            ))),
+        }
+    }
+
+    pub fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?.first().copied().unwrap_or(0))
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(le4(self.take(4, what)?)))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(le8(self.take(8, what)?)))
+    }
+
+    pub fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(le8(self.take(8, what)?)))
+    }
+
+    /// Reads a `u64` count and validates that `count * elem_size` bytes are
+    /// actually present, so corrupt length fields cannot trigger huge
+    /// allocations or out-of-bounds reads.
+    pub fn count(&mut self, elem_size: usize, what: &str) -> Result<usize, StoreError> {
+        let raw = self.u64(what)?;
+        let n = usize::try_from(raw)
+            .map_err(|_| StoreError::Corrupt(format!("{what} count overflows usize: {raw}")))?;
+        let need = n.checked_mul(elem_size).ok_or_else(|| {
+            StoreError::Corrupt(format!("{what} byte length overflows: {n} x {elem_size}"))
+        })?;
+        if need > self.remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "{what} count {n} exceeds section payload ({need} > {} bytes)",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn u32_vec(&mut self, n: usize, what: &str) -> Result<Vec<u32>, StoreError> {
+        let need = n
+            .checked_mul(4)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what} length overflows")))?;
+        Ok(self
+            .take(need, what)?
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(le4(c)))
+            .collect())
+    }
+
+    pub fn u64_vec(&mut self, n: usize, what: &str) -> Result<Vec<u64>, StoreError> {
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what} length overflows")))?;
+        Ok(self
+            .take(need, what)?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(le8(c)))
+            .collect())
+    }
+
+    pub fn f32_vec(&mut self, n: usize, what: &str) -> Result<Vec<f32>, StoreError> {
+        let need = n
+            .checked_mul(4)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what} length overflows")))?;
+        Ok(self
+            .take(need, what)?
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(le4(c)))
+            .collect())
+    }
+
+    pub fn f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>, StoreError> {
+        let need = n
+            .checked_mul(8)
+            .ok_or_else(|| StoreError::Corrupt(format!("{what} length overflows")))?;
+        Ok(self
+            .take(need, what)?
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(le8(c)))
+            .collect())
+    }
+
+    /// Fails with `Corrupt` unless the reader is exhausted.
+    pub fn expect_end(&self, what: &str) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Any single-bit flip changes the CRC (spot check).
+        let base = crc32(b"hello world");
+        let mut flipped = b"hello world".to_vec();
+        flipped[3] ^= 0x10;
+        assert_ne!(crc32(&flipped), base);
+    }
+
+    #[test]
+    fn reader_is_total() {
+        let bytes = 7u32.to_le_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32("x").unwrap(), 7);
+        assert!(r.expect_end("x").is_ok());
+        assert!(matches!(r.u8("y"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn count_rejects_lengths_past_the_payload() {
+        let mut bytes = Vec::new();
+        put_u64(&mut bytes, 1_000_000); // claims a million elements...
+        put_u64(&mut bytes, 0); // ...but only 8 bytes follow
+        let mut r = Reader::new(&bytes);
+        let err = r.count(8, "elems").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn vec_reads_round_trip() {
+        let mut buf = Vec::new();
+        for v in [1.5f64, -0.0, f64::NAN] {
+            put_f64(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        let back = r.f64_vec(3, "v").unwrap();
+        assert_eq!(back[0], 1.5);
+        assert_eq!(back[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back[2].is_nan());
+    }
+}

@@ -11,6 +11,8 @@
 //! pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
 //!        [--threads N] [--full] [--out PATH]
 //! pvplan serve [--port P] [--threads N] [--cache-mb MB]
+//!        [--days D] [--step MIN] [--store-dir PATH]
+//! pvplan extract --store-dir PATH [--sites N] [--seed S]
 //!        [--days D] [--step MIN]
 //! ```
 //!
@@ -23,6 +25,15 @@
 //! scenario spec to `/v1/place` and get the placement + energy report as
 //! JSON; repeat requests for a known site answer from the warm per-site
 //! cache (`/v1/stats` shows hits, queue depth and latency percentiles).
+//! With `--store-dir` the service hydrates its cache from the snapshot
+//! store on start and persists cold extractions behind responses, so a
+//! restart answers known sites warm; damaged snapshots are quarantined
+//! and re-extracted, never served.
+//!
+//! `pvplan extract` pre-warms a snapshot store offline: it solves the
+//! first `--sites` corpus scenarios at the serving clock and commits each
+//! site's extraction (dataset, suitability map, warm trace memo) as a
+//! crash-safe snapshot a later `serve --store-dir` can hydrate.
 //!
 //! `--threads N` (or the `PV_THREADS` environment variable) sets the
 //! worker count for solar extraction and energy evaluation; the default is
@@ -47,6 +58,8 @@ USAGE:
   pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
          [--threads N] [--full] [--out PATH]
   pvplan serve [--port P] [--threads N] [--cache-mb MB]
+         [--days D] [--step MIN] [--store-dir PATH]
+  pvplan extract --store-dir PATH [--sites N] [--seed S]
          [--days D] [--step MIN]
 
 The `suite` subcommand fans a scenario-corpus preset across the parallel
@@ -56,7 +69,13 @@ BENCH_portfolio.json.
 The `serve` subcommand starts the HTTP placement service on 127.0.0.1
 (POST /v1/place, GET /v1/healthz, GET /v1/stats). --cache-mb bounds the
 warm per-site cache; place responses are bit-identical for every
---threads setting.
+--threads setting. --store-dir PATH hydrates the cache from a snapshot
+store on start and persists cold extractions behind responses; corrupt
+snapshots are quarantined and the site re-extracted.
+
+The `extract` subcommand pre-warms a snapshot store: the first --sites
+corpus scenarios (corpus seed --seed) are solved at the serving clock
+and committed as crash-safe snapshots for a later `serve --store-dir`.
 
 THREADING:
   --threads N            worker count for extraction/evaluation/portfolio
@@ -257,6 +276,7 @@ struct ServeArgs {
     cache_mb: usize,
     days: u32,
     step: u32,
+    store_dir: Option<String>,
     help: bool,
 }
 
@@ -270,6 +290,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         cache_mb: defaults.cache_bytes >> 20,
         days: defaults.days,
         step: defaults.step_minutes,
+        store_dir: None,
         help: false,
     };
     let mut it = args.iter();
@@ -317,6 +338,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|e| format!("--step: {e}"))?;
             }
+            "--store-dir" => parsed.store_dir = Some(value("--store-dir")?.clone()),
             "--help" | "-h" => parsed.help = true,
             other => return Err(format!("unknown serve flag '{other}' (try --help)")),
         }
@@ -350,7 +372,24 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let runtime = parsed
         .threads
         .map_or_else(Runtime::from_env, Runtime::with_threads);
-    let service = Arc::new(PlacementService::new(config));
+    let mut service = PlacementService::new(config);
+    if let Some(dir) = &parsed.store_dir {
+        let store = pvfloorplan::store::SiteStore::open(dir)
+            .map_err(|e| format!("opening snapshot store '{dir}': {e}"))?;
+        service = service.with_store(Arc::new(store));
+    }
+    let service = Arc::new(service);
+    if let Some(dir) = &parsed.store_dir {
+        let seeded = service
+            .hydrate_store()
+            .map_err(|e| format!("hydrating snapshot store '{dir}': {e}"))?;
+        let counters = service.store().map(|s| s.counters());
+        println!(
+            "snapshot store '{dir}': {seeded} site(s) hydrated, {} quarantined, {} skipped",
+            counters.map_or(0, |c| c.quarantined()),
+            counters.map_or(0, |c| c.skipped()),
+        );
+    }
     let server = Server::bind(("127.0.0.1", parsed.port), service, runtime, 64)
         .map_err(|e| format!("binding port {}: {e}", parsed.port))?;
     println!(
@@ -365,6 +404,126 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park(); // serve until killed (Ctrl-C)
     }
+}
+
+/// Parsed `pvplan extract` flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ExtractArgs {
+    store_dir: Option<String>,
+    sites: u32,
+    seed: u64,
+    days: u32,
+    step: u32,
+    help: bool,
+}
+
+/// Parses the `extract` flags (everything after `extract`). Pure, like
+/// [`parse_serve_args`].
+fn parse_extract_args(args: &[String]) -> Result<ExtractArgs, String> {
+    let defaults = ServiceConfig::standard();
+    let mut parsed = ExtractArgs {
+        store_dir: None,
+        sites: 4,
+        seed: CORPUS_SEED,
+        days: defaults.days,
+        step: defaults.step_minutes,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--store-dir" => parsed.store_dir = Some(value("--store-dir")?.clone()),
+            "--sites" => {
+                parsed.sites = match value("--sites")?.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => return Err("--sites expects a positive integer".to_string()),
+                };
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--days" => {
+                parsed.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
+            "--step" => {
+                parsed.step = value("--step")?
+                    .parse()
+                    .map_err(|e| format!("--step: {e}"))?;
+            }
+            "--help" | "-h" => parsed.help = true,
+            other => return Err(format!("unknown extract flag '{other}' (try --help)")),
+        }
+    }
+    if parsed.days == 0 || parsed.days > 365 {
+        return Err(format!("--days must be in 1..=365, got {}", parsed.days));
+    }
+    if parsed.step == 0 || !1440u32.is_multiple_of(parsed.step) {
+        return Err(format!(
+            "--step must divide the 1440-minute day evenly, got {}",
+            parsed.step
+        ));
+    }
+    if !parsed.help && parsed.store_dir.is_none() {
+        return Err("extract requires --store-dir PATH".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Runs the `extract` subcommand: pre-warms a snapshot store with the
+/// first `--sites` corpus scenarios at the serving clock. Prints one
+/// `spec <string>` line per site (scripts capture these to POST the same
+/// sites at a server later) and a final summary.
+fn run_extract(args: &[String]) -> Result<(), String> {
+    let parsed = parse_extract_args(args)?;
+    if parsed.help {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let Some(dir) = &parsed.store_dir else {
+        return Err("extract requires --store-dir PATH".to_string());
+    };
+    // The serving config for these clock flags: the snapshot's extraction
+    // horizon must match what `serve` will compute keys with.
+    let config = ServiceConfig {
+        days: parsed.days,
+        step_minutes: parsed.step,
+        ..ServiceConfig::standard()
+    };
+    let store = pvfloorplan::store::SiteStore::open(dir)
+        .map_err(|e| format!("opening snapshot store '{dir}': {e}"))?;
+    let store = Arc::new(store);
+    let service = PlacementService::new(config).with_store(Arc::clone(&store));
+    let mut written = 0u32;
+    for index in 0..parsed.sites {
+        let spec = pvfloorplan::gis::synth::ScenarioSpec::generate(parsed.seed, index);
+        let wrote = service
+            .prewarm(&spec)
+            .map_err(|e| format!("site {index}: {e}"))?;
+        written += u32::from(wrote);
+        println!("spec {}", spec.to_spec_string());
+        eprintln!(
+            "site {index}: {}",
+            if wrote {
+                "snapshot written"
+            } else {
+                "already stored"
+            }
+        );
+    }
+    service.drain_store();
+    println!(
+        "store '{dir}': {written} snapshot(s) written, {} already present, {} write error(s)",
+        parsed.sites - written,
+        store.counters().write_errors()
+    );
+    Ok(())
 }
 
 fn main() {
@@ -382,6 +541,7 @@ fn run() -> Result<(), String> {
     match cli.get(1).map(String::as_str) {
         Some("suite") => return run_suite(rest),
         Some("serve") => return run_serve(rest),
+        Some("extract") => return run_extract(rest),
         _ => {}
     }
     let args = parse_args()?;
@@ -466,7 +626,7 @@ fn run() -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_serve_args, parse_suite_args, HELP};
+    use super::{parse_extract_args, parse_serve_args, parse_suite_args, HELP};
 
     /// Every flag the three parsers accept, by subcommand. Adding a flag
     /// to `parse_args`/`parse_suite_args`/`parse_serve_args` without
@@ -487,7 +647,15 @@ mod tests {
         "--hvac",
     ];
     const SUITE_FLAGS: &[&str] = &["--preset", "--seed", "--threads", "--full", "--out"];
-    const SERVE_FLAGS: &[&str] = &["--port", "--threads", "--cache-mb", "--days", "--step"];
+    const SERVE_FLAGS: &[&str] = &[
+        "--port",
+        "--threads",
+        "--cache-mb",
+        "--days",
+        "--step",
+        "--store-dir",
+    ];
+    const EXTRACT_FLAGS: &[&str] = &["--store-dir", "--sites", "--seed", "--days", "--step"];
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(ToString::to_string).collect()
@@ -507,11 +675,17 @@ mod tests {
 
     #[test]
     fn help_documents_every_flag_and_subcommand() {
-        for flag in MAIN_FLAGS.iter().chain(SUITE_FLAGS).chain(SERVE_FLAGS) {
+        for flag in MAIN_FLAGS
+            .iter()
+            .chain(SUITE_FLAGS)
+            .chain(SERVE_FLAGS)
+            .chain(EXTRACT_FLAGS)
+        {
             assert!(HELP.contains(flag), "--help is missing {flag}");
         }
         assert!(HELP.contains("pvplan suite"));
         assert!(HELP.contains("pvplan serve"));
+        assert!(HELP.contains("pvplan extract"));
         for preset in pvfloorplan::gis::synth::CorpusPreset::all() {
             assert!(HELP.contains(preset.name()), "missing preset {preset}");
         }
@@ -567,12 +741,66 @@ mod tests {
             "2",
             "--step",
             "120",
+            "--store-dir",
+            "target/snapshots",
         ]))
         .unwrap();
         assert_eq!(parsed.port, 0);
         assert_eq!(parsed.threads, Some(2));
         assert_eq!(parsed.cache_mb, 64);
         assert_eq!((parsed.days, parsed.step), (2, 120));
+        assert_eq!(parsed.store_dir.as_deref(), Some("target/snapshots"));
+    }
+
+    #[test]
+    fn serve_store_dir_defaults_to_none() {
+        assert_eq!(parse_serve_args(&[]).unwrap().store_dir, None);
+    }
+
+    #[test]
+    fn extract_parser_accepts_the_documented_flags() {
+        let parsed = parse_extract_args(&strings(&[
+            "--store-dir",
+            "target/snapshots",
+            "--sites",
+            "3",
+            "--seed",
+            "7",
+            "--days",
+            "2",
+            "--step",
+            "120",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.store_dir.as_deref(), Some("target/snapshots"));
+        assert_eq!(parsed.sites, 3);
+        assert_eq!(parsed.seed, 7);
+        assert_eq!((parsed.days, parsed.step), (2, 120));
+        assert!(!parsed.help);
+    }
+
+    #[test]
+    fn extract_parser_rejects_bad_flags_with_messages_not_panics() {
+        for (args, needle) in [
+            (vec![] as Vec<&str>, "requires --store-dir"),
+            (vec!["--store-dir"], "--store-dir needs a value"),
+            (vec!["--store-dir", "d", "--sites", "0"], "--sites expects"),
+            (vec!["--store-dir", "d", "--sites", "x"], "--sites expects"),
+            (vec!["--store-dir", "d", "--days", "366"], "--days must be"),
+            (
+                vec!["--store-dir", "d", "--step", "7"],
+                "--step must divide",
+            ),
+            (
+                vec!["--store-dir", "d", "--threads", "2"],
+                "unknown extract flag",
+            ),
+        ] {
+            let err = parse_extract_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+        // --help makes --store-dir optional (the help text prints instead).
+        assert!(parse_extract_args(&strings(&["--help"])).unwrap().help);
     }
 
     #[test]

@@ -92,6 +92,11 @@ pub mod server {
     pub use pv_server::*;
 }
 
+/// Crash-safe persistent site-state snapshots ([`pv_store`]).
+pub mod store {
+    pub use pv_store::*;
+}
+
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use pv_floorplan::{

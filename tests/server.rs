@@ -10,6 +10,7 @@
 use pvfloorplan::prelude::*;
 use pvfloorplan::server::http::send_request;
 use pvfloorplan::server::{PlacementService, Server, ServiceConfig};
+use pvfloorplan::store::SiteStore;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -79,6 +80,125 @@ fn start_server(threads: usize) -> Server {
     let service = Arc::new(PlacementService::new(config));
     Server::bind("127.0.0.1:0", service, Runtime::with_threads(threads), 16)
         .expect("bind ephemeral port")
+}
+
+/// Starts a store-backed server, hydrating first; returns the server and
+/// its (shared) service so the test can read counters after shutdown.
+fn start_store_server(dir: &std::path::Path) -> (Server, Arc<PlacementService>) {
+    let store = Arc::new(SiteStore::open(dir).expect("open store"));
+    let service = Arc::new(PlacementService::new(ServiceConfig::tiny()).with_store(store));
+    service.hydrate_store().expect("hydrate store");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        Runtime::with_threads(2),
+        16,
+    )
+    .expect("bind ephemeral port");
+    (server, service)
+}
+
+fn post_place(addr: SocketAddr, body: &str) -> String {
+    let (status, response) =
+        send_request(addr, "POST", "/v1/place", body.as_bytes()).expect("transport");
+    assert_eq!(status, 200, "{response}");
+    response
+}
+
+fn stat(addr: SocketAddr, field: &str) -> f64 {
+    let (status, stats) = send_request(addr, "GET", "/v1/stats", b"").expect("transport");
+    assert_eq!(status, 200);
+    pvfloorplan::json::parse(&stats)
+        .expect("stats JSON")
+        .get(field)
+        .and_then(|v| v.as_number())
+        .unwrap_or_else(|| panic!("stats field {field} missing"))
+}
+
+#[test]
+fn restart_recovery_serves_identical_bytes_and_survives_full_store_corruption() {
+    let dir = std::env::temp_dir().join(format!("pvserve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bodies: Vec<String> = (0..2)
+        .map(|i| ScenarioSpec::generate(2018, i).to_spec_string())
+        .collect();
+
+    // The no-store baseline: the bytes every later life must reproduce.
+    let baseline_server = start_server(2);
+    let baseline: Vec<String> = bodies
+        .iter()
+        .map(|b| post_place(baseline_server.local_addr(), b))
+        .collect();
+    baseline_server.shutdown();
+
+    // Life 1: a store-backed server takes the same traffic cold. The
+    // store must be invisible in the bytes; shutdown drains the
+    // write-behind queue so both snapshots are committed.
+    let (server, service) = start_store_server(&dir);
+    for (body, expected) in bodies.iter().zip(&baseline) {
+        assert_eq!(
+            &post_place(server.local_addr(), body),
+            expected,
+            "write-behind persistence changed response bytes"
+        );
+    }
+    server.shutdown();
+    let store = service.store().expect("store attached");
+    assert_eq!(store.counters().writes(), 2, "drain committed both sites");
+    drop(service);
+
+    // Life 2 ("kill -9 then restart"): a fresh process image hydrates the
+    // snapshots and answers warm — same bytes, zero cold extractions.
+    let (server, service) = start_store_server(&dir);
+    assert_eq!(service.store().expect("store").counters().hydrated(), 2);
+    for (body, expected) in bodies.iter().zip(&baseline) {
+        assert_eq!(
+            &post_place(server.local_addr(), body),
+            expected,
+            "hydrated responses diverged from the cold baseline"
+        );
+    }
+    assert_eq!(stat(server.local_addr(), "cache_misses"), 0.0);
+    assert_eq!(stat(server.local_addr(), "store_hits"), 2.0);
+    assert_eq!(stat(server.local_addr(), "store_hydrated"), 2.0);
+    server.shutdown();
+    drop(service);
+
+    // Life 3: every snapshot is corrupted on disk. The server must
+    // quarantine them all, fall back to cold extraction, and still serve
+    // the exact baseline bytes.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).expect("list store") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "pvsnap") {
+            let mut bytes = std::fs::read(&path).expect("read snapshot");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("corrupt snapshot");
+            corrupted += 1;
+        }
+    }
+    assert_eq!(corrupted, 2, "both snapshots corrupted");
+    let (server, service) = start_store_server(&dir);
+    assert_eq!(service.store().expect("store").counters().quarantined(), 2);
+    for (body, expected) in bodies.iter().zip(&baseline) {
+        assert_eq!(
+            &post_place(server.local_addr(), body),
+            expected,
+            "corrupted-store fallback diverged from the no-store baseline"
+        );
+    }
+    assert_eq!(stat(server.local_addr(), "store_hits"), 0.0);
+    assert_eq!(stat(server.local_addr(), "cache_misses"), 2.0);
+    assert_eq!(stat(server.local_addr(), "store_quarantined"), 2.0);
+    server.shutdown();
+    let quarantined = std::fs::read_dir(&dir)
+        .expect("list store")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".quarantined"))
+        .count();
+    assert_eq!(quarantined, 2, "damaged files kept aside for forensics");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
