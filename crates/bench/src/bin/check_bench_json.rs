@@ -158,6 +158,22 @@ fn validate(doc: &str) -> Result<usize, String> {
                     ));
                 }
             }
+            // Router rows (written by `loadgen --router`) must identify
+            // their shard count and the host's core count — the scaling
+            // gate below is only meaningful when shards could actually
+            // run in parallel.
+            if name.starts_with("shards_") {
+                for key in ["shards", "cpus"] {
+                    check_number(item, i, key)?;
+                    let x = item
+                        .get(key)
+                        .and_then(JsonValue::as_number)
+                        .expect("checked just above");
+                    if x < 1.0 || x.fract() != 0.0 {
+                        return Err(format!("record {i}: {key} = {x} is not a count"));
+                    }
+                }
+            }
         } else if item.get("greedy_wh").is_some() {
             for key in [
                 "latitude_deg",
@@ -200,7 +216,46 @@ fn validate(doc: &str) -> Result<usize, String> {
             ));
         }
     }
+    check_shard_scaling(items)?;
     Ok(items.len())
+}
+
+/// Cross-record gate for the throughput-vs-shards curve: a 2-shard fleet
+/// must beat the single-process warm row by at least 1.3× — but only on
+/// hosts with at least 2 CPUs (recorded in the row itself). On a
+/// single-core container the extra shard can only time-slice, so the
+/// ratio carries no signal and the gate is skipped rather than faked.
+fn check_shard_scaling(items: &[JsonValue]) -> Result<(), String> {
+    let rps_of = |name: &str| -> Option<f64> {
+        items
+            .iter()
+            .find(|item| item.get("name").and_then(JsonValue::as_str) == Some(name))
+            .and_then(|item| item.get("rps").and_then(JsonValue::as_number))
+    };
+    let cpus = items
+        .iter()
+        .find(|item| item.get("name").and_then(JsonValue::as_str) == Some("shards_2"))
+        .and_then(|item| item.get("cpus").and_then(JsonValue::as_number));
+    let (Some(sharded), Some(baseline), Some(cpus)) =
+        (rps_of("shards_2"), rps_of("warm_mix"), cpus)
+    else {
+        return Ok(()); // no curve in this artifact, or no single-process baseline
+    };
+    if cpus < 2.0 {
+        println!(
+            "note: shards_2 scaling gate skipped — measured on {cpus} cpu(s), \
+             sharding cannot parallelize there"
+        );
+        return Ok(());
+    }
+    let ratio = sharded / baseline.max(1e-9);
+    if ratio < 1.3 {
+        return Err(format!(
+            "shards_2 throughput {sharded} req/s is only {ratio:.2}x the warm_mix \
+             baseline {baseline} req/s on a {cpus}-cpu host (gate: >= 1.3x)"
+        ));
+    }
+    Ok(())
 }
 
 fn check_file(path: &std::path::Path) -> Result<(), ()> {
@@ -333,6 +388,42 @@ mod tests {
         assert!(err.contains("served nothing"), "{err}");
         // Non-restart rows stay exempt: the plain schema has no store field.
         assert_eq!(validate(GOOD_SERVER), Ok(1));
+    }
+
+    const GOOD_SHARDS: &str = r#"[{"bench": "server_loadgen",
+        "scale": "8 sites, 4 clients, seed 2018, smoke clock",
+        "name": "warm_mix", "requests": 200, "rps": 100.0,
+        "p50_ms": 2.1, "p99_ms": 9.8, "cache_hit_rate": 0.96},
+        {"bench": "server_loadgen",
+        "scale": "8 sites, 4 clients, seed 2018, smoke clock",
+        "name": "shards_2", "requests": 200, "rps": 150.0,
+        "p50_ms": 2.4, "p99_ms": 10.1, "cache_hit_rate": 0.96,
+        "shards": 2, "cpus": 4}]"#;
+
+    #[test]
+    fn shard_rows_must_carry_shard_and_cpu_counts() {
+        assert_eq!(validate(GOOD_SHARDS), Ok(2));
+        let missing = GOOD_SHARDS.replace(r#""shards": 2, "cpus": 4"#, r#""shards": 2"#);
+        assert!(validate(&missing).unwrap_err().contains("cpus"));
+        let fractional = GOOD_SHARDS.replace(r#""shards": 2"#, r#""shards": 2.5"#);
+        assert!(validate(&fractional).unwrap_err().contains("not a count"));
+    }
+
+    #[test]
+    fn two_shard_scaling_gate_fires_only_on_multicore_hosts() {
+        // 1.5x on a 4-cpu host: passes the 1.3x gate.
+        assert_eq!(validate(GOOD_SHARDS), Ok(2));
+        // 1.1x on a 4-cpu host: the fleet failed to scale — gate fires.
+        let flat = GOOD_SHARDS.replace(r#""rps": 150.0"#, r#""rps": 110.0"#);
+        let err = validate(&flat).unwrap_err();
+        assert!(err.contains("1.3x"), "{err}");
+        // The same flat curve measured on 1 cpu carries no signal: the
+        // gate is skipped (schema still enforced), not faked.
+        let single = flat.replace(r#""cpus": 4"#, r#""cpus": 1"#);
+        assert_eq!(validate(&single), Ok(2));
+        // No warm_mix baseline in the artifact: nothing to compare.
+        let no_baseline = GOOD_SHARDS.replace(r#""name": "warm_mix""#, r#""name": "other""#);
+        assert_eq!(validate(&no_baseline), Ok(2));
     }
 
     #[test]

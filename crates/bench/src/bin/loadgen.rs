@@ -9,6 +9,7 @@
 //!     [--addr HOST:PORT | --spawn] [--requests N] [--clients C] \
 //!     [--sites K] [--seed S] [--threads N] [--out PATH]
 //!     [--restart-recovery] [--store-dir PATH]
+//!     [--router] [--shards-max N]
 //! ```
 //!
 //! With `--spawn` (the default when `--addr` is absent) an in-process
@@ -35,13 +36,24 @@
 //! asserts the two servers answered byte-identically — persistence is a
 //! latency feature, never a correctness one.
 //!
+//! `--router` (spawn mode only) appends the **throughput-vs-shards
+//! curve**: for each shard count `k` in `1..=--shards-max` (default 3)
+//! it starts a consistent-hash [`Router`] fronting `k` real `pvplan
+//! serve` worker processes (the `pvplan` binary must sit next to the
+//! `loadgen` binary — build both in the same profile), replays the
+//! corpus cold, runs the warm mix through the proxy, and emits one
+//! `shards_k` record carrying `shards` and `cpus` fields. The harness
+//! asserts every shard count answered byte-identically (the
+//! ordering-insensitive [`compare_response_sets`]); `check_bench_json`
+//! gates the scaling ratio on hosts where `cpus` makes it meaningful.
+//!
 //! Bad flags exit 1 with an `Error:` message, never a panic.
 
 use pv_bench::json;
 use pv_gis::ScenarioSpec;
 use pv_runtime::Runtime;
 use pv_server::http::send_request;
-use pv_server::{PlacementService, Server, ServiceConfig};
+use pv_server::{PlacementService, Router, RouterConfig, Server, ServiceConfig};
 use pv_store::SiteStore;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -58,6 +70,8 @@ struct LoadgenArgs {
     out: Option<String>,
     restart_recovery: bool,
     store_dir: String,
+    router: bool,
+    shards_max: usize,
 }
 
 /// Parses the harness flags. Pure — no I/O, no exits — so the error
@@ -73,6 +87,8 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
         out: None,
         restart_recovery: false,
         store_dir: "target/loadgen_store".to_string(),
+        router: false,
+        shards_max: 3,
     };
     let mut spawn = false;
     let mut it = args.iter();
@@ -102,6 +118,14 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
             "--out" => parsed.out = Some(value("--out")?.clone()),
             "--restart-recovery" => parsed.restart_recovery = true,
             "--store-dir" => parsed.store_dir = value("--store-dir")?.clone(),
+            "--router" => parsed.router = true,
+            "--shards-max" => {
+                let spec = value("--shards-max")?;
+                parsed.shards_max = match spec.parse() {
+                    Ok(n) if (1..=8).contains(&n) => n,
+                    _ => return Err(format!("--shards-max expects 1..=8, got '{spec}'")),
+                };
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -110,6 +134,9 @@ fn parse_loadgen_args(args: &[String]) -> Result<LoadgenArgs, String> {
     }
     if parsed.restart_recovery && parsed.addr.is_some() {
         return Err("--restart-recovery needs spawn mode (it restarts the server)".into());
+    }
+    if parsed.router && parsed.addr.is_some() {
+        return Err("--router needs spawn mode (it starts its own worker fleets)".into());
     }
     Ok(parsed)
 }
@@ -176,14 +203,18 @@ fn cache_counts(addr: SocketAddr) -> Result<(f64, f64), String> {
 /// One artifact record: shared `bench`/`scale`/`name` core + the server
 /// measurements (the schema `check_bench_json` enforces). Restart phases
 /// additionally carry `store_hit_rate` — how many of the phase's
-/// requests were answered from a store-hydrated cache entry.
-fn record(
+/// requests were answered from a store-hydrated cache entry. Router
+/// phases (`shards_k`) carry `shards` and `cpus`, so the scaling gate in
+/// `check_bench_json` can tell a real multi-core measurement from a
+/// single-core container where shards only time-slice.
+fn record_core(
     scale: &str,
     name: &str,
     latencies_us: &[u64],
     wall_s: f64,
     cache_hit_rate: f64,
     store_hit_rate: Option<f64>,
+    shard_info: Option<(usize, usize)>,
 ) -> json::JsonValue {
     let mut builder = json::ObjectBuilder::new()
         .field("bench", "server_loadgen")
@@ -206,7 +237,40 @@ fn record(
     if let Some(rate) = store_hit_rate {
         builder = builder.field("store_hit_rate", json::rounded(rate, 4));
     }
+    if let Some((shards, cpus)) = shard_info {
+        builder = builder.field("shards", shards).field("cpus", cpus);
+    }
     builder.build()
+}
+
+fn record(
+    scale: &str,
+    name: &str,
+    latencies_us: &[u64],
+    wall_s: f64,
+    cache_hit_rate: f64,
+    store_hit_rate: Option<f64>,
+) -> json::JsonValue {
+    record_core(
+        scale,
+        name,
+        latencies_us,
+        wall_s,
+        cache_hit_rate,
+        store_hit_rate,
+        None,
+    )
+}
+
+/// Per-phase cache hit rate from before/after `(hits, misses)` counter
+/// snapshots, so prior traffic never contaminates a phase's number.
+fn phase_rate(before: (f64, f64), after: (f64, f64)) -> f64 {
+    let lookups = (after.0 + after.1) - (before.0 + before.1);
+    if lookups <= 0.0 {
+        0.0
+    } else {
+        (after.0 - before.0) / lookups
+    }
 }
 
 /// Reads one numeric field from `/v1/stats`.
@@ -223,12 +287,10 @@ fn stat_number(addr: SocketAddr, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("stats body missing numeric '{key}'"))
 }
 
-/// Sequential phase that also keeps the response bodies, for the
-/// byte-identity assertion between restart phases.
-fn run_sequential_with_bodies(
-    addr: SocketAddr,
-    bodies: &[String],
-) -> Result<(Vec<u64>, Vec<String>), String> {
+/// Replays the corpus sequentially, keeping both latencies and response
+/// bodies — the shared measurement + evidence-gathering pass behind the
+/// restart-recovery and router byte-identity assertions.
+fn replay_corpus(addr: SocketAddr, bodies: &[String]) -> Result<(Vec<u64>, Vec<String>), String> {
     let mut latencies = Vec::with_capacity(bodies.len());
     let mut responses = Vec::with_capacity(bodies.len());
     for body in bodies {
@@ -242,6 +304,36 @@ fn run_sequential_with_bodies(
         responses.push(response);
     }
     Ok((latencies, responses))
+}
+
+/// Asserts two response sets are byte-exact up to ordering: both sides
+/// sorted, then compared element-wise. Ordering-insensitivity matters
+/// because concurrent replays complete in arrival order, which is not
+/// deterministic — the *bytes served* are the contract, not the order
+/// they came back in. Returns the first divergence as an error.
+fn compare_response_sets(label: &str, want: &[String], got: &[String]) -> Result<(), String> {
+    if want.len() != got.len() {
+        return Err(format!(
+            "{label}: {} response(s) vs {} — a request was dropped or duplicated",
+            want.len(),
+            got.len()
+        ));
+    }
+    let mut want_sorted: Vec<&String> = want.iter().collect();
+    let mut got_sorted: Vec<&String> = got.iter().collect();
+    want_sorted.sort();
+    got_sorted.sort();
+    for (i, (want, got)) in want_sorted.iter().zip(&got_sorted).enumerate() {
+        if want != got {
+            let preview = |s: &str| s.chars().take(120).collect::<String>();
+            return Err(format!(
+                "{label}: response sets diverge at sorted index {i}:\n  want: {}\n  got:  {}",
+                preview(want),
+                preview(got)
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Spawns an in-process smoke-scale server, optionally store-backed
@@ -267,6 +359,94 @@ fn spawn_server(
     )
     .map_err(|e| format!("spawning server: {e}"))?;
     Ok((server, service))
+}
+
+/// The throughput-vs-shards curve: for each shard count `k`, a
+/// consistent-hash router fronting `k` real `pvplan serve` processes
+/// takes the cold replay (byte-identity evidence) and the warm mix (the
+/// `shards_k` record). Every shard count must serve the same bytes; the
+/// recorded `cpus` lets the bench gate skip the scaling ratio on hosts
+/// where extra processes can only time-slice one core.
+fn run_router_curve(
+    args: &LoadgenArgs,
+    bodies: &[String],
+    scale: &str,
+    records: &mut Vec<json::JsonValue>,
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locating loadgen binary: {e}"))?;
+    let pvplan = exe
+        .parent()
+        .map(|dir| dir.join("pvplan"))
+        .filter(|p| p.exists())
+        .ok_or(
+            "pvplan binary not found next to loadgen; \
+             build it first: cargo build --release -p pvfloorplan --bin pvplan",
+        )?;
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mix: Vec<String> = (0..args.requests)
+        .map(|r| bodies[r % bodies.len()].clone())
+        .collect();
+    let mut reference: Option<Vec<String>> = None;
+    for shards in 1..=args.shards_max {
+        let root = std::path::PathBuf::from(&args.store_dir).join(format!("shards_{shards}"));
+        if root.exists() {
+            std::fs::remove_dir_all(&root)
+                .map_err(|e| format!("clearing store '{}': {e}", root.display()))?;
+        }
+        let mut config = RouterConfig::new(shards, &pvplan, &root);
+        config.worker_args = vec![
+            "serve".into(),
+            "--profile".into(),
+            "smoke".into(),
+            "--threads".into(),
+            args.threads.to_string(),
+        ];
+        let router = Arc::new(
+            Router::start(config).map_err(|e| format!("starting {shards}-shard fleet: {e}"))?,
+        );
+        let transport = Runtime::with_threads(args.threads * shards + 2);
+        let server = Server::bind("127.0.0.1:0", Arc::clone(&router), transport, 64)
+            .map_err(|e| format!("binding router front end: {e}"))?;
+        let addr = server.local_addr();
+        eprintln!("loadgen: {shards}-shard fleet up at {addr}...");
+
+        // Cold replay: the byte-identity evidence across shard counts.
+        let (_, responses) = replay_corpus(addr, bodies)?;
+        match &reference {
+            None => reference = Some(responses),
+            Some(want) => compare_response_sets(
+                &format!("router byte-identity (shards_{shards} vs shards_1)"),
+                want,
+                &responses,
+            )?,
+        }
+
+        // Warm mix through the proxy: the throughput measurement.
+        let before = cache_counts(addr)?;
+        let t0 = Instant::now();
+        let warm = run_phase(addr, &mix, args.clients)?;
+        let wall = t0.elapsed().as_secs_f64();
+        let after = cache_counts(addr)?;
+        println!(
+            "shards_{shards}: {:>5} req, p50 {:>8.2} ms, p99 {:>8.2} ms, {:.1} req/s ({cpus} cpu(s))",
+            warm.len(),
+            percentile_ms(&warm, 0.5),
+            percentile_ms(&warm, 0.99),
+            warm.len() as f64 / wall.max(1e-9),
+        );
+        records.push(record_core(
+            scale,
+            &format!("shards_{shards}"),
+            &warm,
+            wall,
+            phase_rate(before, after),
+            None,
+            Some((shards, cpus)),
+        ));
+        server.shutdown();
+    }
+    Ok(())
 }
 
 fn run(args: &LoadgenArgs) -> Result<(), String> {
@@ -324,14 +504,6 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
     let warm_wall = t0.elapsed().as_secs_f64();
     let after_warm = cache_counts(addr)?;
 
-    let phase_rate = |before: (f64, f64), after: (f64, f64)| -> f64 {
-        let lookups = (after.0 + after.1) - (before.0 + before.1);
-        if lookups <= 0.0 {
-            0.0
-        } else {
-            (after.0 - before.0) / lookups
-        }
-    };
     let hit_rate = phase_rate(before_warm, after_warm);
 
     let scale = format!(
@@ -362,15 +534,14 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         // Restart A — no store: the baseline price of coming back cold.
         let (server, _) = spawn_server(args.threads, None)?;
         let t0 = Instant::now();
-        let (cold_lat, cold_responses) = run_sequential_with_bodies(server.local_addr(), &bodies)?;
+        let (cold_lat, cold_responses) = replay_corpus(server.local_addr(), &bodies)?;
         let restart_cold_wall = t0.elapsed().as_secs_f64();
         server.shutdown();
 
         // Restart B — hydrated from the snapshot store.
         let (server, service) = spawn_server(args.threads, store_dir)?;
         let t0 = Instant::now();
-        let (hydrated_lat, hydrated_responses) =
-            run_sequential_with_bodies(server.local_addr(), &bodies)?;
+        let (hydrated_lat, hydrated_responses) = replay_corpus(server.local_addr(), &bodies)?;
         let hydrated_wall = t0.elapsed().as_secs_f64();
         let store_hits = stat_number(server.local_addr(), "store_hits")?;
         let cache_hits = stat_number(server.local_addr(), "cache_hits")?;
@@ -379,11 +550,11 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
         drop(service);
 
         // The acceptance gate: persistence must be invisible in the bytes.
-        if hydrated_responses != cold_responses {
-            return Err(
-                "restart recovery: hydrated responses differ from the storeless baseline".into(),
-            );
-        }
+        compare_response_sets(
+            "restart recovery (hydrated vs storeless baseline)",
+            &cold_responses,
+            &hydrated_responses,
+        )?;
         let n = bodies.len() as f64;
         records.push(record(
             &scale,
@@ -405,6 +576,11 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
     } else {
         None
     };
+
+    if args.router {
+        run_router_curve(args, &bodies, &scale, &mut records)?;
+    }
+
     let doc = json::render_record_array(&records);
     let path = match &args.out {
         Some(path) => std::path::PathBuf::from(path),
@@ -538,6 +714,57 @@ mod tests {
 
         let r = record("s", "restart_hydrated", &[1000], 0.5, 1.0, Some(1.0));
         assert_eq!(r.get("store_hit_rate").unwrap().as_number(), Some(1.0));
+    }
+
+    #[test]
+    fn response_set_comparison_is_ordering_insensitive_but_byte_exact() {
+        let a: Vec<String> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        // Any permutation of the same bytes passes.
+        let permuted: Vec<String> = ["gamma", "alpha", "beta"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(compare_response_sets("p", &a, &permuted), Ok(()));
+
+        // A single flipped byte fails, naming the divergence.
+        let mut flipped = permuted.clone();
+        flipped[0] = "gamme".to_string();
+        let err = compare_response_sets("flip", &a, &flipped).unwrap_err();
+        assert!(err.contains("flip") && err.contains("diverge"), "{err}");
+
+        // A dropped response fails on the count, not a zip truncation.
+        let err = compare_response_sets("len", &a, &a[..2]).unwrap_err();
+        assert!(err.contains("3 response(s) vs 2"), "{err}");
+    }
+
+    #[test]
+    fn router_flags_parse_and_validate() {
+        let parsed = parse_loadgen_args(&strings(&["--router", "--shards-max", "2"])).unwrap();
+        assert!(parsed.router);
+        assert_eq!(parsed.shards_max, 2);
+        let defaults = parse_loadgen_args(&[]).unwrap();
+        assert!(!defaults.router);
+        assert_eq!(defaults.shards_max, 3);
+        for (args, needle) in [
+            (vec!["--shards-max", "0"], "--shards-max expects 1..=8"),
+            (vec!["--shards-max", "9"], "--shards-max expects 1..=8"),
+            (vec!["--router", "--addr", "127.0.0.1:1"], "spawn mode"),
+        ] {
+            let err = parse_loadgen_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn shard_records_carry_shards_and_cpus() {
+        let r = record_core("s", "shards_2", &[1000], 0.5, 0.9, None, Some((2, 4)));
+        assert_eq!(r.get("shards").unwrap().as_number(), Some(2.0));
+        assert_eq!(r.get("cpus").unwrap().as_number(), Some(4.0));
+        let plain = record("s", "warm_mix", &[1000], 0.5, 0.9, None);
+        assert!(plain.get("shards").is_none(), "plain rows omit shards");
     }
 
     #[test]

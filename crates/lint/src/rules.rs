@@ -67,8 +67,15 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "D03",
         severity: "deny",
-        summary: "ad-hoc threads outside pv_runtime bypass the deterministic executor",
-        patterns: &["thread::spawn", "thread::Builder", "thread::scope"],
+        summary: "ad-hoc threads or child processes outside pv_runtime bypass the \
+                  deterministic executor and its supervised teardown",
+        patterns: &[
+            "thread::spawn",
+            "thread::Builder",
+            "thread::scope",
+            "process::Command",
+            "Command::new",
+        ],
     },
     Rule {
         id: "D04",
@@ -160,7 +167,10 @@ const RESULT_CRATES: &[&str] = &["units", "geom", "gis", "model", "floorplan", "
 /// * `D01` — everywhere outside test code.
 /// * `D02` — exempt: `pv_bench` (the measurement harness) and files
 ///   named `stats.rs` (the allowlisted timing modules).
-/// * `D03` — exempt: `pv_runtime` (the one crate allowed to own threads).
+/// * `D03` — exempt: `pv_runtime` (the one crate allowed to own threads
+///   and child processes — `pv_runtime::proc` is the sanctioned home of
+///   `process::Command`, so the shard router supervises workers through
+///   it instead of ad-hoc spawning).
 /// * `D04` — result-producing crates only (units, geom, gis, model,
 ///   floorplan, json).
 /// * `D05` — everywhere, including `crates/gis/src/lanes.rs`: the one
@@ -569,6 +579,26 @@ mod tests {
         assert_eq!(fire(LIB, src), ["D03@1"]);
         assert_eq!(fire("crates/server/src/fake.rs", src), ["D03@1"]);
         assert!(fire("crates/runtime/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d03_covers_child_processes_like_threads() {
+        // Spawning a process escapes the supervised lifecycle exactly
+        // like an ad-hoc thread; only pv_runtime may own either. Both
+        // the import and the construction site are caught.
+        let import = "use std::process::Command;\n";
+        assert_eq!(fire("crates/server/src/fake.rs", import), ["D03@1"]);
+        let spawn = "let c = Command::new(\"sh\").spawn();\n";
+        assert_eq!(fire("crates/server/src/fake.rs", spawn), ["D03@1"]);
+        assert!(fire("crates/runtime/src/fake.rs", import).is_empty());
+        assert!(fire("crates/runtime/src/fake.rs", spawn).is_empty());
+        // A pragma with a written reason still silences it.
+        let allowed =
+            "// pvlint: allow(D03): fixture process, reaped below\nCommand::new(\"sh\");\n";
+        assert!(fire("crates/server/src/fake.rs", allowed).is_empty());
+        // Doc comments that merely *mention* the pattern stay inert.
+        let comment = "//! pvlint rule D03 bans `process::Command` elsewhere.\n";
+        assert!(fire("crates/server/src/fake.rs", comment).is_empty());
     }
 
     #[test]

@@ -34,8 +34,10 @@
 #![warn(missing_docs)]
 
 pub mod pool;
+pub mod proc;
 
 pub use pool::WorkerPool;
+pub use proc::{ChildSpec, Supervisor};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};

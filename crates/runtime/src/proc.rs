@@ -1,0 +1,325 @@
+//! Supervised child-process lifecycle — the sanctioned home for
+//! `std::process::Command` in this workspace.
+//!
+//! The shard router (`pvplan route`) runs each backend worker as a real
+//! OS process so a worker crash cannot take the front end down. That
+//! requires exactly the kind of ad-hoc lifecycle code (spawn, poll,
+//! respawn, kill) that pvlint rule D03 bans everywhere else: like
+//! threads, stray child processes escape the deterministic executor and
+//! leak on panic. This module centralizes the pattern:
+//!
+//! * [`ChildSpec`] — a declarative description of a child (program,
+//!   arguments, whether the parent holds the child's stdin open);
+//! * [`Supervisor`] — spawns one child per spec, then polls them from a
+//!   monitor thread and **respawns any child that exits** until
+//!   [`Supervisor::shutdown`] is called (also invoked on drop), counting
+//!   restarts so callers can observe churn.
+//!
+//! Holding a child's stdin (`hold_stdin`) gives crash-safe teardown
+//! without signal handling: the child runs with `--watch-stdin`-style
+//! semantics (exit on stdin EOF), so when the supervising process dies —
+//! even on SIGKILL, where no destructor runs — the pipe's write end
+//! closes and every child exits on its own.
+//!
+//! Determinism note: supervision affects only *which OS process* answers
+//! a request, never the bytes it answers with — workers are required to
+//! be pure functions of their requests, so respawns are invisible to the
+//! protocol (DESIGN.md, "Sharded serving").
+
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long [`Supervisor::shutdown`] waits for children to exit on their
+/// own after closing their stdin pipes, before escalating to kill.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+/// Poll interval inside the shutdown grace window.
+const GRACE_POLL: Duration = Duration::from_millis(25);
+
+/// Declarative description of one supervised child process.
+#[derive(Clone, Debug)]
+pub struct ChildSpec {
+    /// Program to execute.
+    pub program: PathBuf,
+    /// Arguments passed to the program.
+    pub args: Vec<String>,
+    /// When `true`, the parent keeps a pipe to the child's stdin open for
+    /// the child's whole life. Children that exit on stdin EOF then tear
+    /// themselves down when the supervising process dies, even when no
+    /// destructor runs (e.g. SIGKILL).
+    pub hold_stdin: bool,
+}
+
+impl ChildSpec {
+    /// A spec running `program` with `args`, holding the child's stdin.
+    #[must_use]
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        Self {
+            program: program.into(),
+            args,
+            hold_stdin: true,
+        }
+    }
+
+    fn spawn(&self) -> io::Result<Child> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .stdin(if self.hold_stdin {
+                Stdio::piped()
+            } else {
+                Stdio::null()
+            })
+            .spawn()
+    }
+}
+
+/// One live supervised slot: the spec it was spawned from plus the
+/// current incarnation of the child.
+struct Slot {
+    spec: ChildSpec,
+    child: Child,
+}
+
+impl Slot {
+    /// Returns `true` if the current incarnation has exited (or its
+    /// status cannot be polled, which only happens once it is gone).
+    fn is_dead(&mut self) -> bool {
+        !matches!(self.child.try_wait(), Ok(None))
+    }
+
+    fn kill_and_reap(&mut self) {
+        // Kill errors mean the child is already gone; reaping after that
+        // is best-effort and only fails for the same reason.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a fixed set of child processes and keeps them alive.
+///
+/// A monitor thread polls every child each `poll` interval and respawns
+/// any that exited, incrementing a shared restart counter. [`shutdown`]
+/// (also run on drop) stops the monitor first, then kills and reaps all
+/// children, so shutdown never races a respawn.
+///
+/// [`shutdown`]: Supervisor::shutdown
+pub struct Supervisor {
+    slots: Vec<Arc<Mutex<Option<Slot>>>>,
+    restarts: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Supervisor {
+    /// Spawns one child per spec and starts the monitor thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first spawn error; children spawned before the failure
+    /// are killed and reaped before returning.
+    pub fn start(specs: Vec<ChildSpec>, poll: Duration) -> io::Result<Self> {
+        let mut slots = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match spec.spawn() {
+                Ok(child) => slots.push(Arc::new(Mutex::new(Some(Slot { spec, child })))),
+                Err(err) => {
+                    for slot in &slots {
+                        if let Ok(mut guard) = slot.lock() {
+                            if let Some(slot) = guard.as_mut() {
+                                slot.kill_and_reap();
+                            }
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+
+        let restarts = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let slots: Vec<_> = slots.iter().map(Arc::clone).collect();
+            let restarts = Arc::clone(&restarts);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pv-supervise".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        for slot in &slots {
+                            let Ok(mut guard) = slot.lock() else {
+                                continue;
+                            };
+                            let Some(slot) = guard.as_mut() else {
+                                continue;
+                            };
+                            if !slot.is_dead() || stop.load(Ordering::Acquire) {
+                                continue;
+                            }
+                            // Reap the corpse, then respawn from the same
+                            // spec. A failed respawn (e.g. fd exhaustion)
+                            // is retried on the next poll tick.
+                            let _ = slot.child.wait();
+                            if let Ok(next) = slot.spec.spawn() {
+                                slot.child = next;
+                                restarts.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                        std::thread::sleep(poll);
+                    }
+                })?
+        };
+
+        Ok(Self {
+            slots,
+            restarts: Arc::clone(&restarts),
+            stop,
+            monitor: Mutex::new(Some(monitor)),
+        })
+    }
+
+    /// Number of supervised children.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when supervising no children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// OS process id of child `index`'s current incarnation, if alive.
+    #[must_use]
+    pub fn child_pid(&self, index: usize) -> Option<u32> {
+        let slot = self.slots.get(index)?;
+        let guard = slot.lock().ok()?;
+        guard.as_ref().map(|slot| slot.child.id())
+    }
+
+    /// Total respawns across all children since start.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Acquire)
+    }
+
+    /// Stops the monitor thread, then tears every child down: first the
+    /// graceful path — close the held stdin pipes (children with
+    /// exit-on-EOF semantics drain and exit on their own) and wait up to
+    /// `SHUTDOWN_GRACE` (2 s) — then kill and reap whatever is still
+    /// alive.
+    ///
+    /// Idempotent; also invoked by `Drop`, so an early return in the
+    /// caller cannot leak children while the supervising process lives.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Ok(mut guard) = self.monitor.lock() {
+            if let Some(handle) = guard.take() {
+                let _ = handle.join();
+            }
+        }
+        let mut any_held = false;
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.lock() {
+                if let Some(slot) = guard.as_mut() {
+                    any_held |= slot.child.stdin.take().is_some();
+                }
+            }
+        }
+        if any_held {
+            let deadline = SHUTDOWN_GRACE.as_millis() / GRACE_POLL.as_millis().max(1);
+            for _ in 0..deadline {
+                let all_exited = self.slots.iter().all(|slot| {
+                    slot.lock()
+                        .map(|mut guard| guard.as_mut().is_none_or(Slot::is_dead))
+                        .unwrap_or(true)
+                });
+                if all_exited {
+                    break;
+                }
+                std::thread::sleep(GRACE_POLL);
+            }
+        }
+        for slot in &self.slots {
+            if let Ok(mut guard) = slot.lock() {
+                if let Some(mut slot) = guard.take() {
+                    slot.kill_and_reap();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLL: Duration = Duration::from_millis(20);
+
+    fn sh(script: &str) -> ChildSpec {
+        ChildSpec::new("/bin/sh", vec!["-c".into(), script.into()])
+    }
+
+    #[test]
+    fn children_spawn_and_shutdown_reaps_them() {
+        let sup = Supervisor::start(vec![sh("sleep 30"), sh("sleep 30")], POLL)
+            .expect("spawn two sleepers");
+        assert_eq!(sup.len(), 2);
+        let pid = sup.child_pid(0).expect("first child alive");
+        assert!(pid > 0);
+        sup.shutdown();
+        assert_eq!(sup.child_pid(0), None, "shutdown reaps the child");
+        // Idempotent.
+        sup.shutdown();
+    }
+
+    #[test]
+    fn exiting_child_is_respawned_with_a_new_pid() {
+        // `cat` with held stdin blocks until the pipe closes, so after the
+        // first instant exit the respawned incarnation stays alive.
+        let sup = Supervisor::start(vec![sh("exit 3")], POLL).expect("spawn");
+        let mut waited = 0;
+        while sup.restarts() == 0 && waited < 500 {
+            std::thread::sleep(POLL);
+            waited += 1;
+        }
+        assert!(sup.restarts() > 0, "dead child gets respawned");
+        sup.shutdown();
+    }
+
+    #[test]
+    fn restarts_stop_after_shutdown() {
+        let sup = Supervisor::start(vec![sh("exit 0")], POLL).expect("spawn");
+        sup.shutdown();
+        let snapshot = sup.restarts();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(sup.restarts(), snapshot, "monitor is stopped");
+    }
+
+    #[test]
+    fn spawn_failure_surfaces_as_an_error() {
+        let missing = ChildSpec::new("/nonexistent/pv-no-such-binary", vec![]);
+        assert!(Supervisor::start(vec![sh("sleep 30"), missing], POLL).is_err());
+    }
+
+    #[test]
+    fn held_stdin_closes_when_supervisor_is_dropped() {
+        // A child that exits on stdin EOF must see EOF once the
+        // supervisor (and with it the pipe's write end) is gone.
+        let sup = Supervisor::start(vec![sh("cat >/dev/null; exit 0")], POLL).expect("spawn");
+        let pid = sup.child_pid(0).expect("alive");
+        assert!(pid > 0);
+        drop(sup); // kills + reaps; stdin pipe closes either way
+    }
+}

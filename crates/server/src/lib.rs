@@ -61,10 +61,14 @@
 
 pub mod cache;
 pub mod http;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use server::Server;
+pub use ring::HashRing;
+pub use router::{place_shard_key, Router, RouterConfig};
+pub use server::{Handler, Server};
 pub use service::{PlaceRequest, PlacementService, ServiceConfig};
 pub use stats::{percentile_us, ServiceStats, StatsSnapshot};

@@ -1,0 +1,142 @@
+//! Consistent-hash ring mapping site keys onto shard indices.
+//!
+//! The router shards by [`ScenarioSpec::canonical_hash`], so every
+//! site's warm cache and snapshot store live on exactly one backend
+//! worker. The ring must therefore be:
+//!
+//! * **pure** — shard choice is a function of `(shard_count, key)` and
+//!   nothing else (no process state, no randomness), so two routers
+//!   built with the same shard count always agree;
+//! * **stable under growth** — going from `N` to `N + 1` shards moves
+//!   only ~`1/(N+1)` of the key space, so a scale-out does not cold-start
+//!   every shard's cache at once;
+//! * **balanced** — with [`VNODES_PER_SHARD`] virtual nodes per shard,
+//!   the heaviest shard stays within ~2× of the ideal share even for
+//!   small shard counts (pinned by `tests/ring.rs` over the `stress256`
+//!   corpus keys).
+//!
+//! Classic construction: every shard contributes `VNODES_PER_SHARD`
+//! points on a `u64` circle (each point the FNV-1a hash of a
+//! `"pv-shard/<shard>/vnode/<v>"` label), and a key belongs to the shard
+//! owning the first point at or after the key's hash, wrapping at the
+//! top of the range.
+//!
+//! [`ScenarioSpec::canonical_hash`]: pv_gis::ScenarioSpec::canonical_hash
+
+use pv_gis::synth::fnv1a;
+
+/// Virtual nodes (ring points) per shard.
+///
+/// 128 points keeps the maximum arc share within ~2× of ideal for every
+/// realistic shard count while the ring stays tiny (a sorted `Vec` of
+/// `shards × 128` entries, binary-searched per request).
+pub const VNODES_PER_SHARD: usize = 128;
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+///
+/// FNV-1a (the workspace's stable hash, and what
+/// [`canonical_hash`](pv_gis::ScenarioSpec::canonical_hash) is built on)
+/// diffuses late input bytes into the high bits weakly, so raw FNV
+/// values of similar strings cluster on the circle and skew arc sizes
+/// badly. Both ring points and looked-up keys pass through this mixer,
+/// which restores uniformity without touching any persisted format —
+/// the ring is still a pure function of `(shard_count, key)`.
+const fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An immutable consistent-hash ring over `shards` backends.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point; ties deduplicated
+    /// deterministically (lowest shard index wins) so the mapping is a
+    /// pure function of the shard count.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `shards` backends (clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let label = format!("pv-shard/{shard}/vnode/{vnode}");
+                points.push((
+                    mix(fnv1a(label.as_bytes())),
+                    u32::try_from(shard).unwrap_or(u32::MAX),
+                ));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|&mut (point, _)| point);
+        Self { points, shards }
+    }
+
+    /// The shard count this ring was built for.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: the shard of the first ring point at or
+    /// after `key`, wrapping past the top of the `u64` circle.
+    #[must_use]
+    pub fn shard_for(&self, key: u64) -> usize {
+        self.shard_at(mix(key))
+    }
+
+    /// The shard owning circle position `pos` (a post-[`mix`] value).
+    fn shard_at(&self, pos: u64) -> usize {
+        let idx = self.points.partition_point(|&(point, _)| point < pos);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points.get(idx).map_or(0, |&(_, shard)| shard as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::new(1);
+        for key in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.shard_for(key), 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(HashRing::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn every_shard_owns_some_point() {
+        for shards in 1..=8 {
+            let ring = HashRing::new(shards);
+            let mut seen = vec![false; shards];
+            for &(_, shard) in &ring.points {
+                seen[shard as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{shards} shards all materialized");
+        }
+    }
+
+    #[test]
+    fn wraparound_maps_to_first_point_owner() {
+        let ring = HashRing::new(4);
+        let &(first_point, first_shard) = ring.points.first().expect("non-empty ring");
+        let &(last_point, _) = ring.points.last().expect("non-empty ring");
+        assert_eq!(ring.shard_at(first_point), first_shard as usize);
+        if last_point < u64::MAX {
+            assert_eq!(ring.shard_at(last_point + 1), first_shard as usize);
+        }
+    }
+}

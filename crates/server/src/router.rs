@@ -1,0 +1,504 @@
+//! The shard router: consistent-hash fan-out of `/v1/place` over
+//! supervised `pvplan serve` worker processes.
+//!
+//! One process, one LRU, one acceptor caps warm throughput at whatever a
+//! single placement service can solve. The [`Router`] scales that out
+//! horizontally while keeping the workspace determinism contract intact:
+//!
+//! * **Placement.** Every `/v1/place` body is hashed with
+//!   [`place_shard_key`] — the spec's [`canonical_hash`] when the body
+//!   parses, the FNV-1a hash of the raw bytes when it does not — and the
+//!   [`HashRing`] maps that key onto one worker. A site's warm cache and
+//!   snapshot store therefore live on exactly one shard, and even a
+//!   malformed body is routed deterministically so its `400` bytes come
+//!   from the same code path as a single-process server.
+//! * **Supervision.** Workers are real OS processes spawned through
+//!   [`pv_runtime::Supervisor`] (the sanctioned child-process helper —
+//!   pvlint rule D03 bans `process::Command` anywhere else). Each worker
+//!   gets its own store partition ([`pv_store::shard_dir`]) and writes
+//!   its ephemeral address to a *port file* once bound; a respawned
+//!   worker rewrites that file, rehydrates its partition, and the router
+//!   picks the new address up on the next connection failure.
+//! * **Proxying.** Per-shard connections are bounded by a counting
+//!   semaphore ([`RouterConfig::max_connections_per_shard`]). A transport
+//!   failure triggers *retry-once-on-refused*: wait (bounded) for the
+//!   shard's `/v1/healthz` to answer on its current port-file address,
+//!   re-send once, and only then give up with a structured `503`.
+//! * **Stats.** `GET /v1/stats` fans out to every live shard and merges:
+//!   counters are summed, `queue_depth` is the maximum (including the
+//!   router's own backlog), latency quantiles are `place_ok`-weighted
+//!   averages (an approximation — quantiles do not compose exactly), and
+//!   router-level fields (`shards`, `shards_up`, `shard_restarts`,
+//!   `shard_pids`, `store_hit_rate`) are appended.
+//!
+//! **Determinism argument.** A `/v1/place` response body is a pure
+//! function of the request on any single server (no timing, no cache
+//! metadata). The router adds only *placement* (which pure function
+//! evaluates the request) and *retries* (re-evaluating the same pure
+//! function), so identical requests produce byte-identical bodies at any
+//! shard count, under any placement, before/during/after a shard
+//! restart — pinned end-to-end by `tests/server.rs`.
+//!
+//! [`canonical_hash`]: pv_gis::ScenarioSpec::canonical_hash
+
+use crate::http::send_request;
+use crate::ring::HashRing;
+use crate::server::Handler;
+use crate::service::{error_body, PlaceRequest};
+use pv_gis::synth::fnv1a;
+use pv_json::{JsonValue, ObjectBuilder};
+use pv_runtime::{ChildSpec, Supervisor};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Supervisor poll interval for dead-worker detection.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(100);
+
+/// Sleep between health probes while waiting for a shard.
+const HEALTH_POLL: Duration = Duration::from_millis(50);
+
+/// Health-probe attempts before a retried request gives up (× 50 ms —
+/// generous enough for respawn + store rehydration at serving scale).
+const RETRY_ATTEMPTS: u32 = 300;
+
+/// Shard key for a `/v1/place` body: the canonical spec hash when the
+/// body parses as a place request, otherwise the FNV-1a hash of the raw
+/// bytes — a pure function of the body either way, so malformed requests
+/// are proxied (and answered with the service's own `400` bytes) instead
+/// of special-cased in the router.
+#[must_use]
+pub fn place_shard_key(body: &[u8]) -> u64 {
+    core::str::from_utf8(body)
+        .ok()
+        .and_then(|text| PlaceRequest::parse(text).ok())
+        .map_or_else(|| fnv1a(body), |request| request.spec.canonical_hash())
+}
+
+/// Configuration for [`Router::start`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Number of backend workers (clamped to at least 1).
+    pub shards: usize,
+    /// Worker executable (normally the `pvplan` binary itself).
+    pub worker_program: PathBuf,
+    /// Common worker arguments, e.g. `["serve", "--profile", "smoke"]`.
+    /// The router appends per-shard `--port 0 --port-file … --store-dir …
+    /// --watch-stdin` — the worker must accept `pvplan serve` flags.
+    pub worker_args: Vec<String>,
+    /// Root directory holding each shard's store partition and port file.
+    pub store_root: PathBuf,
+    /// Upper bound on concurrent proxy connections per shard.
+    pub max_connections_per_shard: usize,
+    /// Health-probe attempts (× 50 ms) to wait for each worker at start.
+    pub startup_attempts: u32,
+}
+
+impl RouterConfig {
+    /// A config with serving defaults: 32 connections per shard and a
+    /// 30 s startup deadline per worker.
+    #[must_use]
+    pub fn new(
+        shards: usize,
+        worker_program: impl Into<PathBuf>,
+        store_root: impl Into<PathBuf>,
+    ) -> Self {
+        Self {
+            shards,
+            worker_program: worker_program.into(),
+            worker_args: Vec::new(),
+            store_root: store_root.into(),
+            max_connections_per_shard: 32,
+            startup_attempts: 600,
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrent connections to one shard.
+struct Gate {
+    free: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Self {
+            free: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> GatePermit<'_> {
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        while *free == 0 {
+            free = self
+                .available
+                .wait(free)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *free -= 1;
+        GatePermit { gate: self }
+    }
+}
+
+struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut free = self
+            .gate
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *free += 1;
+        self.gate.available.notify_one();
+    }
+}
+
+/// Router-side state for one backend worker.
+struct ShardSlot {
+    /// File the worker writes its bound address into (rewritten by every
+    /// respawned incarnation, since ephemeral ports change).
+    port_file: PathBuf,
+    /// Last known good address; refreshed from the port file on failure.
+    addr: Mutex<Option<SocketAddr>>,
+    gate: Gate,
+}
+
+/// A running shard router: supervised workers plus the hash ring and
+/// per-shard client state. Implements [`Handler`], so it is served by the
+/// same [`Server`](crate::Server) transport as a single-process service.
+pub struct Router {
+    ring: HashRing,
+    shards: Vec<ShardSlot>,
+    supervisor: Supervisor,
+}
+
+impl Router {
+    /// Spawns and supervises `config.shards` workers, waits for every one
+    /// to answer `/v1/healthz`, and returns the ready router.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first failure (store-root creation,
+    /// worker spawn, or a worker missing its startup deadline); any
+    /// already-spawned workers are torn down before returning.
+    pub fn start(config: RouterConfig) -> Result<Self, String> {
+        let shard_count = config.shards.max(1);
+        std::fs::create_dir_all(&config.store_root)
+            .map_err(|e| format!("create store root {}: {e}", config.store_root.display()))?;
+
+        let mut specs = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let store_dir = pv_store::shard_dir(&config.store_root, index);
+            let port_file = config.store_root.join(format!("shard-{index:03}.port"));
+            // A stale port file from a previous run would point health
+            // probes at a dead (or worse, foreign) port.
+            let _ = std::fs::remove_file(&port_file);
+
+            let mut args = config.worker_args.clone();
+            args.extend([
+                "--port".to_string(),
+                "0".to_string(),
+                "--port-file".to_string(),
+                port_file.to_string_lossy().into_owned(),
+                "--store-dir".to_string(),
+                store_dir.to_string_lossy().into_owned(),
+                "--watch-stdin".to_string(),
+            ]);
+            specs.push(ChildSpec::new(&config.worker_program, args));
+            shards.push(ShardSlot {
+                port_file,
+                addr: Mutex::new(None),
+                gate: Gate::new(config.max_connections_per_shard),
+            });
+        }
+
+        let supervisor = Supervisor::start(specs, SUPERVISOR_POLL).map_err(|e| {
+            format!(
+                "spawn workers from {}: {e}",
+                config.worker_program.display()
+            )
+        })?;
+        let router = Self {
+            ring: HashRing::new(shard_count),
+            shards,
+            supervisor,
+        };
+        for (index, slot) in router.shards.iter().enumerate() {
+            if !router.wait_healthy(slot, config.startup_attempts) {
+                router.shutdown_workers();
+                return Err(format!("shard {index} did not become healthy in time"));
+            }
+        }
+        Ok(router)
+    }
+
+    /// The ring this router places keys with (pure function of the shard
+    /// count — tests use it to predict request placement).
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// OS process id of shard `index`'s current worker, if alive.
+    #[must_use]
+    pub fn shard_pid(&self, index: usize) -> Option<u32> {
+        self.supervisor.child_pid(index)
+    }
+
+    /// Total worker respawns since start.
+    #[must_use]
+    pub fn shard_restarts(&self) -> u64 {
+        self.supervisor.restarts()
+    }
+
+    /// Tears the worker fleet down: graceful stdin-EOF drain first, then
+    /// kill. Idempotent; also runs via [`Handler::on_shutdown`] when the
+    /// fronting server drains.
+    pub fn shutdown_workers(&self) {
+        self.supervisor.shutdown();
+    }
+
+    /// Current address of a shard, from cache or its port file.
+    fn shard_addr(&self, slot: &ShardSlot) -> std::io::Result<SocketAddr> {
+        let cached = slot
+            .addr
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .copied();
+        match cached {
+            Some(addr) => Ok(addr),
+            None => self.refresh_addr(slot),
+        }
+    }
+
+    /// Re-reads a shard's port file (a respawned worker rewrites it after
+    /// binding a fresh ephemeral port) and caches the parsed address.
+    fn refresh_addr(&self, slot: &ShardSlot) -> std::io::Result<SocketAddr> {
+        let text = std::fs::read_to_string(&slot.port_file)?;
+        let addr: SocketAddr = text.trim().parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("port file {}: {e}", slot.port_file.display()),
+            )
+        })?;
+        *slot.addr.lock().unwrap_or_else(PoisonError::into_inner) = Some(addr);
+        Ok(addr)
+    }
+
+    /// One proxied exchange with a shard over a fresh connection.
+    ///
+    /// On a transport failure the cached address may be stale (a
+    /// respawned worker binds a fresh ephemeral port and rewrites its
+    /// port file), so the exchange is retried once against a re-read
+    /// address before the error propagates.
+    fn forward(
+        &self,
+        slot: &ShardSlot,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        let addr = self.shard_addr(slot)?;
+        match send_request(addr, method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                let addr = self.refresh_addr(slot)?;
+                send_request(addr, method, path, body)
+            }
+        }
+    }
+
+    /// Polls a shard's port file + `/v1/healthz` until it answers `200`
+    /// or `attempts` probes (× [`HEALTH_POLL`]) are exhausted.
+    fn wait_healthy(&self, slot: &ShardSlot, attempts: u32) -> bool {
+        for _ in 0..attempts {
+            if let Ok(addr) = self.refresh_addr(slot) {
+                if matches!(send_request(addr, "GET", "/v1/healthz", b""), Ok((200, _))) {
+                    return true;
+                }
+            }
+            std::thread::sleep(HEALTH_POLL);
+        }
+        false
+    }
+
+    /// Proxies one request to `shard` with retry-once-on-refused: a
+    /// transport failure (refused, reset, vanished port file) waits for
+    /// the supervisor's respawn to pass a health probe, re-sends exactly
+    /// once, and otherwise answers a structured `503`. Requests are pure
+    /// functions of their bodies, so the retry cannot change bytes.
+    fn proxy(&self, shard: usize, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+        let Some(slot) = self.shards.get(shard) else {
+            return (500, error_body("internal: ring produced an unknown shard"));
+        };
+        let _permit = slot.gate.acquire();
+        if let Ok(answer) = self.forward(slot, method, path, body) {
+            return answer;
+        }
+        if self.wait_healthy(slot, RETRY_ATTEMPTS) {
+            if let Ok(answer) = self.forward(slot, method, path, body) {
+                return answer;
+            }
+        }
+        (503, error_body(&format!("shard {shard} is unavailable")))
+    }
+
+    /// Fans `GET /v1/stats` out to every shard and merges the answers.
+    fn merged_stats(&self, queue_depth: usize) -> String {
+        /// Per-shard counters that add across shards.
+        const SUMMED: &[&str] = &[
+            "requests",
+            "place_ok",
+            "errors",
+            "cache_hits",
+            "cache_misses",
+            "cache_entries",
+            "cache_bytes",
+            "cache_budget_bytes",
+            "store_hits",
+            "store_hydrated",
+            "store_quarantined",
+            "store_skipped",
+            "store_writes",
+            "store_write_errors",
+        ];
+        let docs: Vec<JsonValue> = self
+            .shards
+            .iter()
+            .filter_map(|slot| match self.forward(slot, "GET", "/v1/stats", b"") {
+                Ok((200, body)) => pv_json::parse(&body).ok(),
+                _ => None,
+            })
+            .collect();
+        let number = |doc: &JsonValue, key: &str| -> f64 {
+            doc.get(key).and_then(JsonValue::as_number).unwrap_or(0.0)
+        };
+        let sum = |key: &str| -> f64 { docs.iter().map(|doc| number(doc, key)).sum() };
+
+        let mut merged = ObjectBuilder::new();
+        for &key in SUMMED {
+            merged = merged.field(key, sum(key));
+        }
+        let lookups = sum("cache_hits") + sum("cache_misses");
+        let weight = sum("place_ok").max(1.0);
+        // Quantiles do not compose exactly; the place_ok-weighted average
+        // is the documented approximation (DESIGN.md, "Sharded serving").
+        let weighted = |key: &str| -> f64 {
+            docs.iter()
+                .map(|doc| number(doc, "place_ok") * number(doc, key))
+                .sum::<f64>()
+                / weight
+        };
+        let max_queue = docs
+            .iter()
+            .map(|doc| number(doc, "queue_depth"))
+            .fold(queue_depth as f64, f64::max);
+        let pids: Vec<JsonValue> = (0..self.shards.len())
+            .filter_map(|index| self.supervisor.child_pid(index))
+            .map(|pid| JsonValue::from(f64::from(pid)))
+            .collect();
+        merged
+            .field(
+                "cache_hit_rate",
+                pv_json::rounded(sum("cache_hits") / lookups.max(1.0), 4),
+            )
+            .field(
+                "store_hit_rate",
+                pv_json::rounded(sum("store_hits") / lookups.max(1.0), 4),
+            )
+            .field("queue_depth", max_queue)
+            .field("p50_ms", pv_json::rounded(weighted("p50_ms"), 3))
+            .field("p99_ms", pv_json::rounded(weighted("p99_ms"), 3))
+            .field("shards", self.shards.len())
+            .field("shards_up", docs.len())
+            .field("shard_restarts", self.supervisor.restarts() as f64)
+            .field("shard_pids", pids)
+            .build()
+            .to_json_string()
+    }
+}
+
+impl Handler for Router {
+    fn handle(&self, method: &str, target: &str, body: &[u8], queue_depth: usize) -> (u16, String) {
+        let path = target.split('?').next().unwrap_or(target);
+        match (method, path) {
+            // Answered locally with the exact bytes a single-process
+            // server produces, so health checks and error probes are
+            // byte-identical through the proxy.
+            ("GET", "/v1/healthz") => (200, r#"{"status": "ok"}"#.to_string()),
+            ("GET", "/v1/stats") => (200, self.merged_stats(queue_depth)),
+            ("POST", "/v1/place") => {
+                let shard = self.ring.shard_for(place_shard_key(body));
+                self.proxy(shard, "POST", "/v1/place", body)
+            }
+            (_, "/v1/healthz" | "/v1/stats" | "/v1/place") => (
+                405,
+                error_body(&format!("method {method} not allowed here")),
+            ),
+            _ => (404, error_body(&format!("no such route '{path}'"))),
+        }
+    }
+
+    /// Tear the worker fleet down once the router's own pool has drained.
+    fn on_shutdown(&self) {
+        self.shutdown_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_shard_key_is_the_canonical_hash_for_valid_bodies() {
+        let spec = pv_gis::ScenarioSpec::generate(2018, 3);
+        let key = place_shard_key(spec.to_spec_string().as_bytes());
+        assert_eq!(key, spec.canonical_hash());
+    }
+
+    #[test]
+    fn place_shard_key_hashes_raw_bytes_for_malformed_bodies() {
+        let body = b"{ not json";
+        assert_eq!(place_shard_key(body), fnv1a(body));
+        // Deterministic: same bytes, same key.
+        assert_eq!(place_shard_key(body), place_shard_key(body));
+    }
+
+    #[test]
+    fn gate_bounds_concurrency_and_releases_on_drop() {
+        let gate = Gate::new(2);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        assert_eq!(*gate.free.lock().unwrap(), 0);
+        drop(a);
+        assert_eq!(*gate.free.lock().unwrap(), 1);
+        drop(b);
+        assert_eq!(*gate.free.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_permit_gate_is_clamped_to_one() {
+        let gate = Gate::new(0);
+        let permit = gate.acquire();
+        drop(permit);
+        assert_eq!(*gate.free.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn router_refuses_unroutable_paths_with_service_identical_bodies() {
+        // Pure-function check on the local (non-proxied) routes: no
+        // workers needed. Build a router-shaped handler via the parts
+        // that do not require processes — here just the error renderers.
+        assert_eq!(
+            error_body("no such route '/nope'"),
+            r#"{"error": "no such route '/nope'"}"#
+        );
+    }
+}

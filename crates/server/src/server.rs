@@ -8,7 +8,6 @@
 //! reaches the clients, and memory stays flat under overload.
 
 use crate::http::{read_request, write_response, RequestError, IO_TIMEOUT};
-use crate::service::PlacementService;
 use pv_runtime::{Runtime, WorkerPool};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -21,6 +20,29 @@ use std::time::Duration;
 /// shutdown never waits on a connection that may never come).
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// What the transport serves: anything that can turn a parsed request
+/// into a `(status, JSON body)` pair.
+///
+/// [`Server`] is generic over its handler so the same acceptor/pool
+/// transport serves both a single-process [`PlacementService`] and the
+/// shard [`Router`] — one implementation of timeouts, backpressure, and
+/// error-path conventions instead of two.
+///
+/// Implementations must be pure functions of the request for `/v1/place`
+/// (the workspace determinism contract); `queue_depth` feeds
+/// observability only and must never influence response bytes.
+///
+/// [`PlacementService`]: crate::service::PlacementService
+/// [`Router`]: crate::router::Router
+pub trait Handler: Send + Sync + 'static {
+    /// Answers one request with an HTTP status and a JSON body.
+    fn handle(&self, method: &str, target: &str, body: &[u8], queue_depth: usize) -> (u16, String);
+
+    /// Runs after the worker pool has drained during shutdown (e.g. flush
+    /// pending snapshot writes). The default does nothing.
+    fn on_shutdown(&self) {}
+}
+
 /// A running placement server; dropping or [`shutdown`](Self::shutdown)
 /// stops accepting, drains in-flight requests, and joins every thread.
 pub struct Server {
@@ -31,18 +53,19 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service` on `runtime.threads()` workers over a queue of at most
+    /// `handler` on `runtime.threads()` workers over a queue of at most
     /// `queue_capacity` waiting connections.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding.
-    pub fn bind(
+    pub fn bind<H: Handler>(
         addr: impl ToSocketAddrs,
-        service: Arc<PlacementService>,
+        handler: Arc<H>,
         runtime: Runtime,
         queue_capacity: usize,
     ) -> std::io::Result<Self> {
+        let handler: Arc<dyn Handler> = handler;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -52,7 +75,7 @@ impl Server {
             // pvlint: allow(D03): the acceptor is transport, not compute — all solve work still goes through the WorkerPool
             std::thread::Builder::new()
                 .name("pv-accept".into())
-                .spawn(move || accept_loop(&listener, &service, runtime, queue_capacity, &stop))?
+                .spawn(move || accept_loop(&listener, &handler, runtime, queue_capacity, &stop))?
         };
         Ok(Self {
             local_addr,
@@ -93,7 +116,7 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    service: &Arc<PlacementService>,
+    handler: &Arc<dyn Handler>,
     runtime: Runtime,
     queue_capacity: usize,
     stop: &AtomicBool,
@@ -106,13 +129,13 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 backlog.fetch_add(1, Ordering::AcqRel);
-                let service = Arc::clone(service);
+                let handler = Arc::clone(handler);
                 let worker_backlog = Arc::clone(&backlog);
                 let stream = Arc::new(stream);
                 let worker_stream = Arc::clone(&stream);
                 let accepted = pool.submit(move || {
                     let depth = worker_backlog.fetch_sub(1, Ordering::AcqRel) - 1;
-                    handle_connection(&worker_stream, &service, depth);
+                    handle_connection(&worker_stream, handler.as_ref(), depth);
                 });
                 if !accepted {
                     // The queue closed under us (shutdown raced the
@@ -134,7 +157,7 @@ fn accept_loop(
         }
     }
     pool.shutdown(); // drain accepted connections before returning
-    service.drain_store(); // then flush pending snapshot writes to disk
+    handler.on_shutdown(); // then e.g. flush pending snapshot writes
 }
 
 /// Answers a connection the worker pool refused (queue closed during
@@ -152,7 +175,7 @@ fn refuse_connection(stream: &TcpStream) {
     );
 }
 
-fn handle_connection(stream: &TcpStream, service: &PlacementService, queue_depth: usize) {
+fn handle_connection(stream: &TcpStream, handler: &dyn Handler, queue_depth: usize) {
     // Accepted sockets are blocking again (accept does not inherit the
     // listener's non-blocking flag on the platforms we target, but be
     // explicit), with timeouts so a dead peer frees the worker.
@@ -163,7 +186,7 @@ fn handle_connection(stream: &TcpStream, service: &PlacementService, queue_depth
 
     let mut reader = BufReader::new(stream);
     let (status, body) = match read_request(&mut reader) {
-        Ok(request) => service.handle(&request.method, &request.target, &request.body, queue_depth),
+        Ok(request) => handler.handle(&request.method, &request.target, &request.body, queue_depth),
         Err(RequestError::TooLarge) => (413, r#"{"error": "request too large"}"#.to_string()),
         Err(RequestError::Malformed(e)) => {
             (400, format!(r#"{{"error": "{}"}}"#, pv_json::escape(&e)))
@@ -178,7 +201,7 @@ fn handle_connection(stream: &TcpStream, service: &PlacementService, queue_depth
 mod tests {
     use super::*;
     use crate::http::send_request;
-    use crate::service::ServiceConfig;
+    use crate::service::{PlacementService, ServiceConfig};
 
     fn start(threads: usize) -> Server {
         let service = Arc::new(PlacementService::new(ServiceConfig::tiny()));

@@ -667,8 +667,22 @@ impl PlacementService {
     }
 }
 
+impl crate::server::Handler for PlacementService {
+    fn handle(&self, method: &str, target: &str, body: &[u8], queue_depth: usize) -> (u16, String) {
+        PlacementService::handle(self, method, target, body, queue_depth)
+    }
+
+    /// Flush pending snapshot writes once the worker pool has drained.
+    fn on_shutdown(&self) {
+        self.drain_store();
+    }
+}
+
 /// `{"error": msg}`.
-fn error_body(msg: &str) -> String {
+///
+/// `pub(crate)` so the router renders its locally-answered error routes
+/// (404/405/503) with the exact same bytes as a single-process server.
+pub(crate) fn error_body(msg: &str) -> String {
     ObjectBuilder::new()
         .field("error", msg)
         .build()

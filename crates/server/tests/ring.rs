@@ -1,0 +1,119 @@
+//! Property battery for the consistent-hash ring behind `pvplan route`.
+//!
+//! Three contracts, matching the module docs of `pv_server::ring`:
+//!
+//! 1. **Purity** — shard choice is a function of `(shard_count, key)`
+//!    and nothing else: two independently built rings always agree, and
+//!    a key routed through [`place_shard_key`] lands on the same shard
+//!    as its raw `canonical_hash`.
+//! 2. **Stability under growth** — going from `N` to `N + 1` shards
+//!    remaps only ~`1/(N+1)` of keys (asserted with a 2× slack factor),
+//!    so a scale-out never cold-starts every shard at once.
+//! 3. **Balance** — over the `stress256` corpus keys the heaviest shard
+//!    carries at most 2× the ideal share.
+
+use proptest::prelude::*;
+use pv_gis::synth::{ScenarioSpec, CORPUS_SEED};
+use pv_server::{place_shard_key, HashRing};
+
+/// Canonical hashes of the full `stress256` corpus — the realistic key
+/// population the balance bound is pinned against.
+fn stress256_keys() -> Vec<u64> {
+    (0..256)
+        .map(|i| ScenarioSpec::generate(CORPUS_SEED, i).canonical_hash())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two rings built with the same shard count agree on every key:
+    /// the mapping depends on nothing but `(shards, key)`.
+    #[test]
+    fn shard_choice_is_a_pure_function_of_count_and_key(
+        shards in 1usize..17,
+        key in any::<u64>(),
+    ) {
+        let a = HashRing::new(shards);
+        let b = HashRing::new(shards);
+        let shard = a.shard_for(key);
+        prop_assert_eq!(shard, b.shard_for(key));
+        prop_assert!(shard < shards, "shard index in range");
+        // Repeated queries on one ring are stable too.
+        prop_assert_eq!(shard, a.shard_for(key));
+    }
+
+    /// Routing a request body routes by the spec's canonical hash: the
+    /// body bytes' framing (spec string vs. raw) never changes the shard
+    /// as long as the canonical hash is the same.
+    #[test]
+    fn request_bodies_route_by_canonical_hash(index in 0u32..256, shards in 1usize..9) {
+        let spec = ScenarioSpec::generate(CORPUS_SEED, index);
+        let ring = HashRing::new(shards);
+        let by_key = ring.shard_for(spec.canonical_hash());
+        let by_body = ring.shard_for(place_shard_key(spec.to_spec_string().as_bytes()));
+        prop_assert_eq!(by_key, by_body);
+    }
+
+    /// Growing the fleet from `n` to `n + 1` shards remaps at most
+    /// ~`K/(n+1)` of `K` keys (2× slack for vnode-placement variance):
+    /// consistent hashing, not mod-N rehashing, which would move
+    /// `n/(n+1)` of them.
+    #[test]
+    fn growth_remaps_at_most_its_fair_share(n in 1usize..8, salt in any::<u64>()) {
+        let keys: Vec<u64> = stress256_keys()
+            .into_iter()
+            .map(|k| k ^ salt)
+            .collect();
+        let before = HashRing::new(n);
+        let after = HashRing::new(n + 1);
+        let moved = keys
+            .iter()
+            .filter(|&&k| before.shard_for(k) != after.shard_for(k))
+            .count();
+        let fair = keys.len() / (n + 1);
+        prop_assert!(
+            moved <= 2 * fair.max(1),
+            "{} -> {} shards moved {moved} of {} keys (fair share {fair})",
+            n,
+            n + 1,
+            keys.len(),
+        );
+        // Every moved key must land on the new shard — an old shard
+        // stealing keys from another old shard would be a ring bug.
+        for &k in &keys {
+            if before.shard_for(k) != after.shard_for(k) {
+                prop_assert_eq!(after.shard_for(k), n);
+            }
+        }
+    }
+}
+
+/// Over the `stress256` corpus keys, the heaviest shard stays within 2×
+/// of the ideal share for every shard count the router accepts in
+/// practice.
+#[test]
+fn stress256_distribution_is_balanced_within_2x_of_ideal() {
+    let keys = stress256_keys();
+    for shards in [2usize, 3, 4, 6, 8] {
+        let ring = HashRing::new(shards);
+        let mut loads = vec![0usize; shards];
+        for &k in &keys {
+            let shard = ring.shard_for(k);
+            if let Some(slot) = loads.get_mut(shard) {
+                *slot += 1;
+            }
+        }
+        let ideal = keys.len().div_ceil(shards);
+        let heaviest = loads.iter().copied().max().unwrap_or(0);
+        assert!(
+            heaviest <= 2 * ideal,
+            "{shards} shards: heaviest carries {heaviest} of {} (ideal {ideal}, loads {loads:?})",
+            keys.len(),
+        );
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "{shards} shards: every shard owns some corpus keys ({loads:?})"
+        );
+    }
+}

@@ -75,7 +75,7 @@ pub mod store;
 mod wire;
 
 pub use snapshot::{SiteSnapshot, SnapshotMeta, FORMAT_VERSION, MAGIC};
-pub use store::{SiteStore, StoreCounters};
+pub use store::{shard_dir, SiteStore, StoreCounters};
 pub use wire::crc32;
 
 use std::fmt;

@@ -79,6 +79,18 @@ impl StoreCounters {
     }
 }
 
+/// Subdirectory of `root` holding shard `index`'s partition of a
+/// sharded store (`shard-000`, `shard-001`, …).
+///
+/// The zero-padded name is part of the on-disk layout contract: the
+/// router derives worker `--store-dir` arguments from it, and
+/// [`SiteStore::open_shard`] opens the same path, so both sides agree
+/// without passing paths over the wire.
+#[must_use]
+pub fn shard_dir(root: &Path, index: usize) -> PathBuf {
+    root.join(format!("shard-{index:03}"))
+}
+
 /// A directory of per-site snapshots keyed by the serving cache key.
 ///
 /// All mutating paths are total: a damaged file is quarantined and
@@ -116,6 +128,20 @@ impl SiteStore {
                 WRITE_QUEUE_CAPACITY,
             ))),
         })
+    }
+
+    /// Opens (creating if needed) shard `index`'s partition of a sharded
+    /// store rooted at `root` — the on-disk contract behind
+    /// `pvplan route`: shard `i` hydrates from and writes to
+    /// [`shard_dir`]`(root, i)` and nothing else, so one site's snapshot
+    /// lives on exactly one shard and a restarted worker rehydrates only
+    /// its own partition.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open_shard(root: impl AsRef<Path>, index: usize) -> Result<Self, StoreError> {
+        Self::open(shard_dir(root.as_ref(), index))
     }
 
     /// The store's root directory.
@@ -307,6 +333,37 @@ mod tests {
         ));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn shard_partitions_are_disjoint_and_round_trip() {
+        let root = scratch_dir("shards");
+        assert_eq!(
+            shard_dir(&root, 7).file_name().and_then(|n| n.to_str()),
+            Some("shard-007")
+        );
+
+        // A snapshot written to shard 0 hydrates from shard 0 and is
+        // invisible to shard 1 — the partitioning contract the router's
+        // per-worker `--store-dir` relies on.
+        let shard0 = SiteStore::open_shard(&root, 0).unwrap();
+        let snap = sample_snapshot();
+        let memo = TraceMemo::with_byte_budget(snap.memo_budget);
+        for (anchor, trace) in &snap.memo_entries {
+            memo.seed(*anchor, Arc::clone(trace));
+        }
+        shard0
+            .save(0xabc, &snap.meta, &snap.dataset, &snap.map, &memo)
+            .unwrap();
+
+        let rehydrated = SiteStore::open_shard(&root, 0).unwrap().hydrate().unwrap();
+        assert_eq!(rehydrated.len(), 1);
+        assert!(SiteStore::open_shard(&root, 1)
+            .unwrap()
+            .hydrate()
+            .unwrap()
+            .is_empty());
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
 //!        [--threads N] [--full] [--out PATH]
 //! pvplan serve [--port P] [--threads N] [--cache-mb MB]
-//!        [--days D] [--step MIN] [--store-dir PATH]
+//!        [--days D] [--step MIN] [--profile standard|smoke|tiny]
+//!        [--store-dir PATH] [--port-file PATH] [--watch-stdin]
+//! pvplan route --shards N [--port P] [--threads N] [--cache-mb MB]
+//!        [--days D] [--step MIN] [--profile standard|smoke|tiny]
+//!        [--store-dir PATH] [--port-file PATH] [--watch-stdin]
 //! pvplan extract --store-dir PATH [--sites N] [--seed S]
 //!        [--days D] [--step MIN]
 //! ```
@@ -29,6 +33,13 @@
 //! store on start and persists cold extractions behind responses, so a
 //! restart answers known sites warm; damaged snapshots are quarantined
 //! and re-extracted, never served.
+//!
+//! `pvplan route` scales the service out horizontally: it spawns and
+//! supervises `--shards` worker processes (each a `pvplan serve` with its
+//! own snapshot-store partition), consistent-hashes every `/v1/place`
+//! body onto one worker, and merges `/v1/stats` across the fleet. A
+//! crashed worker is respawned and rehydrates its partition from disk;
+//! responses are byte-identical at any shard count.
 //!
 //! `pvplan extract` pre-warms a snapshot store offline: it solves the
 //! first `--sites` corpus scenarios at the serving clock and commits each
@@ -58,7 +69,11 @@ USAGE:
   pvplan suite [--preset smoke|paper3|diverse64|stress256] [--seed S]
          [--threads N] [--full] [--out PATH]
   pvplan serve [--port P] [--threads N] [--cache-mb MB]
-         [--days D] [--step MIN] [--store-dir PATH]
+         [--days D] [--step MIN] [--profile standard|smoke|tiny]
+         [--store-dir PATH] [--port-file PATH] [--watch-stdin]
+  pvplan route --shards N [--port P] [--threads N] [--cache-mb MB]
+         [--days D] [--step MIN] [--profile standard|smoke|tiny]
+         [--store-dir PATH] [--port-file PATH] [--watch-stdin]
   pvplan extract --store-dir PATH [--sites N] [--seed S]
          [--days D] [--step MIN]
 
@@ -69,9 +84,22 @@ BENCH_portfolio.json.
 The `serve` subcommand starts the HTTP placement service on 127.0.0.1
 (POST /v1/place, GET /v1/healthz, GET /v1/stats). --cache-mb bounds the
 warm per-site cache; place responses are bit-identical for every
---threads setting. --store-dir PATH hydrates the cache from a snapshot
-store on start and persists cold extractions behind responses; corrupt
-snapshots are quarantined and the site re-extracted.
+--threads setting. --profile picks the base serving configuration
+(clock, horizon, cache) that --days/--step/--cache-mb then override.
+--store-dir PATH hydrates the cache from a snapshot store on start and
+persists cold extractions behind responses; corrupt snapshots are
+quarantined and the site re-extracted. --port-file PATH writes the bound
+address (useful with --port 0); --watch-stdin drains and exits cleanly
+on stdin EOF, so a supervising process tears the server down by closing
+a pipe.
+
+The `route` subcommand starts a shard router on the same endpoints: it
+spawns and supervises --shards worker processes (each a `pvplan serve`
+with its own snapshot-store partition under --store-dir), consistent-
+hashes each /v1/place body onto one worker, retries once behind a health
+probe when a shard is down, and merges /v1/stats across the fleet. A
+crashed worker is respawned and rehydrates its partition; response
+bodies are byte-identical at any shard count.
 
 The `extract` subcommand pre-warms a snapshot store: the first --sites
 corpus scenarios (corpus seed --seed) are solved at the serving clock
@@ -268,29 +296,64 @@ fn run_suite(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("writing BENCH_portfolio.json: {e}"))
 }
 
-/// Parsed `pvplan serve` flags.
+/// Parsed `pvplan serve` flags. Clock and cache flags stay `None` when
+/// absent so the `--profile` base config supplies their defaults.
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct ServeArgs {
     port: u16,
     threads: Option<usize>,
-    cache_mb: usize,
-    days: u32,
-    step: u32,
+    profile: String,
+    cache_mb: Option<usize>,
+    days: Option<u32>,
+    step: Option<u32>,
     store_dir: Option<String>,
+    port_file: Option<String>,
+    watch_stdin: bool,
     help: bool,
+}
+
+/// The base [`ServiceConfig`] for a `--profile` name.
+fn base_config(profile: &str) -> Result<ServiceConfig, String> {
+    match profile {
+        "standard" => Ok(ServiceConfig::standard()),
+        "smoke" => Ok(ServiceConfig::smoke()),
+        "tiny" => Ok(ServiceConfig::tiny()),
+        other => Err(format!(
+            "--profile expects standard|smoke|tiny, got '{other}'"
+        )),
+    }
+}
+
+/// Resolves a profile plus optional overrides into the serving config.
+fn resolve_config(
+    profile: &str,
+    days: Option<u32>,
+    step: Option<u32>,
+    cache_mb: Option<usize>,
+) -> Result<ServiceConfig, String> {
+    let base = base_config(profile)?;
+    let config = ServiceConfig {
+        days: days.unwrap_or(base.days),
+        step_minutes: step.unwrap_or(base.step_minutes),
+        ..base
+    };
+    let cache_mb = cache_mb.unwrap_or(config.cache_bytes >> 20);
+    Ok(config.with_cache_bytes(cache_mb << 20))
 }
 
 /// Parses the `serve` flags (everything after `serve`). Pure, like
 /// [`parse_suite_args`].
 fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
-    let defaults = ServiceConfig::standard();
     let mut parsed = ServeArgs {
         port: 8080,
         threads: None,
-        cache_mb: defaults.cache_bytes >> 20,
-        days: defaults.days,
-        step: defaults.step_minutes,
+        profile: "standard".to_string(),
+        cache_mb: None,
+        days: None,
+        step: None,
         store_dir: None,
+        port_file: None,
+        watch_stdin: false,
         help: false,
     };
     let mut it = args.iter();
@@ -312,12 +375,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                         format!("--threads expects a positive integer, got '{spec}'")
                     })?);
             }
+            "--profile" => {
+                let name = value("--profile")?;
+                base_config(name)?; // validate early, fail with the flag name
+                parsed.profile = name.clone();
+            }
             "--cache-mb" => {
                 let spec = value("--cache-mb")?;
                 // The upper bound keeps `cache_mb << 20` from silently
                 // overflowing usize into a tiny (or zero) byte budget.
                 parsed.cache_mb = match spec.parse() {
-                    Ok(mb) if mb > 0 && mb <= usize::MAX >> 20 => mb,
+                    Ok(mb) if mb > 0 && mb <= usize::MAX >> 20 => Some(mb),
                     Ok(mb) if mb > 0 => {
                         return Err(format!("--cache-mb is out of range, got {mb}"));
                     }
@@ -329,46 +397,69 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 };
             }
             "--days" => {
-                parsed.days = value("--days")?
-                    .parse()
-                    .map_err(|e| format!("--days: {e}"))?;
+                parsed.days = Some(
+                    value("--days")?
+                        .parse()
+                        .map_err(|e| format!("--days: {e}"))?,
+                );
             }
             "--step" => {
-                parsed.step = value("--step")?
-                    .parse()
-                    .map_err(|e| format!("--step: {e}"))?;
+                parsed.step = Some(
+                    value("--step")?
+                        .parse()
+                        .map_err(|e| format!("--step: {e}"))?,
+                );
             }
             "--store-dir" => parsed.store_dir = Some(value("--store-dir")?.clone()),
+            "--port-file" => parsed.port_file = Some(value("--port-file")?.clone()),
+            "--watch-stdin" => parsed.watch_stdin = true,
             "--help" | "-h" => parsed.help = true,
             other => return Err(format!("unknown serve flag '{other}' (try --help)")),
         }
     }
-    if parsed.days == 0 || parsed.days > 365 {
-        return Err(format!("--days must be in 1..=365, got {}", parsed.days));
-    }
-    if parsed.step == 0 || !1440u32.is_multiple_of(parsed.step) {
-        return Err(format!(
-            "--step must divide the 1440-minute day evenly, got {}",
-            parsed.step
-        ));
-    }
+    validate_clock_overrides(parsed.days, parsed.step)?;
     Ok(parsed)
 }
 
-/// Runs the `serve` subcommand: binds the placement service and blocks
-/// until the process is killed.
+/// Shared `--days`/`--step` validation for the serving subcommands.
+fn validate_clock_overrides(days: Option<u32>, step: Option<u32>) -> Result<(), String> {
+    if let Some(days) = days {
+        if days == 0 || days > 365 {
+            return Err(format!("--days must be in 1..=365, got {days}"));
+        }
+    }
+    if let Some(step) = step {
+        if step == 0 || !1440u32.is_multiple_of(step) {
+            return Err(format!(
+                "--step must divide the 1440-minute day evenly, got {step}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Blocks until stdin reaches EOF. With `--watch-stdin` the supervising
+/// process (the shard router, a test harness, CI) holds a pipe to our
+/// stdin: when it exits — even on SIGKILL, where it cannot signal us —
+/// the pipe closes and we shut down cleanly instead of leaking.
+fn wait_for_stdin_eof() {
+    use std::io::Read;
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Runs the `serve` subcommand: binds the placement service and blocks —
+/// until stdin EOF with `--watch-stdin` (then drains and exits cleanly),
+/// otherwise until the process is killed.
 fn run_serve(args: &[String]) -> Result<(), String> {
     let parsed = parse_serve_args(args)?;
     if parsed.help {
         println!("{HELP}");
         return Ok(());
     }
-    let config = ServiceConfig {
-        days: parsed.days,
-        step_minutes: parsed.step,
-        ..ServiceConfig::standard()
-    }
-    .with_cache_bytes(parsed.cache_mb << 20);
+    let config = resolve_config(&parsed.profile, parsed.days, parsed.step, parsed.cache_mb)?;
+    let (cache_mb, days, step) = (config.cache_bytes >> 20, config.days, config.step_minutes);
     let runtime = parsed
         .threads
         .map_or_else(Runtime::from_env, Runtime::with_threads);
@@ -392,17 +483,194 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     }
     let server = Server::bind(("127.0.0.1", parsed.port), service, runtime, 64)
         .map_err(|e| format!("binding port {}: {e}", parsed.port))?;
+    write_port_file(parsed.port_file.as_deref(), server.local_addr())?;
     println!(
         "serving on http://{} ({} worker(s), {} MiB site cache, {} day(s) @ {} min)",
         server.local_addr(),
         runtime.threads(),
-        parsed.cache_mb,
-        parsed.days,
-        parsed.step
+        cache_mb,
+        days,
+        step
     );
     println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats");
+    if parsed.watch_stdin {
+        wait_for_stdin_eof();
+        server.shutdown(); // drain in-flight requests + snapshot writes
+        return Ok(());
+    }
     loop {
         std::thread::park(); // serve until killed (Ctrl-C)
+    }
+}
+
+/// Publishes the bound address for supervisors/scripts (`--port 0` makes
+/// the kernel pick the port, so it must be discoverable somewhere).
+fn write_port_file(path: Option<&str>, addr: std::net::SocketAddr) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| format!("writing port file '{path}': {e}"))?;
+    }
+    Ok(())
+}
+
+/// Parsed `pvplan route` flags. The clock/cache/profile flags mirror
+/// `serve` — they are forwarded to every worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RouteArgs {
+    shards: usize,
+    port: u16,
+    threads: Option<usize>,
+    profile: String,
+    cache_mb: Option<usize>,
+    days: Option<u32>,
+    step: Option<u32>,
+    store_dir: String,
+    port_file: Option<String>,
+    watch_stdin: bool,
+    help: bool,
+}
+
+/// Parses the `route` flags (everything after `route`). Pure, like
+/// [`parse_serve_args`].
+fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
+    let mut parsed = RouteArgs {
+        shards: 0,
+        port: 8080,
+        threads: None,
+        profile: "standard".to_string(),
+        cache_mb: None,
+        days: None,
+        step: None,
+        store_dir: "target/router_store".to_string(),
+        port_file: None,
+        watch_stdin: false,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--shards" => {
+                parsed.shards = match value("--shards")?.parse() {
+                    Ok(n) if (1..=64).contains(&n) => n,
+                    _ => return Err("--shards expects an integer in 1..=64".to_string()),
+                };
+            }
+            "--port" => {
+                let spec = value("--port")?;
+                parsed.port = spec
+                    .parse()
+                    .map_err(|_| format!("--port expects 0..=65535, got '{spec}'"))?;
+            }
+            "--threads" => {
+                let spec = value("--threads")?;
+                parsed.threads =
+                    Some(pvfloorplan::runtime::parse_threads(spec).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got '{spec}'")
+                    })?);
+            }
+            "--profile" => {
+                let name = value("--profile")?;
+                base_config(name)?;
+                parsed.profile = name.clone();
+            }
+            "--cache-mb" => {
+                parsed.cache_mb = match value("--cache-mb")?.parse() {
+                    Ok(mb) if mb > 0 && mb <= usize::MAX >> 20 => Some(mb),
+                    _ => return Err("--cache-mb expects a positive integer in range".to_string()),
+                };
+            }
+            "--days" => {
+                parsed.days = Some(
+                    value("--days")?
+                        .parse()
+                        .map_err(|e| format!("--days: {e}"))?,
+                );
+            }
+            "--step" => {
+                parsed.step = Some(
+                    value("--step")?
+                        .parse()
+                        .map_err(|e| format!("--step: {e}"))?,
+                );
+            }
+            "--store-dir" => parsed.store_dir = value("--store-dir")?.clone(),
+            "--port-file" => parsed.port_file = Some(value("--port-file")?.clone()),
+            "--watch-stdin" => parsed.watch_stdin = true,
+            "--help" | "-h" => parsed.help = true,
+            other => return Err(format!("unknown route flag '{other}' (try --help)")),
+        }
+    }
+    validate_clock_overrides(parsed.days, parsed.step)?;
+    if !parsed.help && parsed.shards == 0 {
+        return Err("route requires --shards N (1..=64)".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Runs the `route` subcommand: spawns the worker fleet behind a
+/// consistent-hash router and blocks like `serve` does.
+fn run_route(args: &[String]) -> Result<(), String> {
+    let parsed = parse_route_args(args)?;
+    if parsed.help {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("locating the pvplan executable for workers: {e}"))?;
+
+    let mut worker_args = vec![
+        "serve".to_string(),
+        "--profile".to_string(),
+        parsed.profile.clone(),
+    ];
+    if let Some(threads) = parsed.threads {
+        worker_args.extend(["--threads".to_string(), threads.to_string()]);
+    }
+    if let Some(cache_mb) = parsed.cache_mb {
+        worker_args.extend(["--cache-mb".to_string(), cache_mb.to_string()]);
+    }
+    if let Some(days) = parsed.days {
+        worker_args.extend(["--days".to_string(), days.to_string()]);
+    }
+    if let Some(step) = parsed.step {
+        worker_args.extend(["--step".to_string(), step.to_string()]);
+    }
+    let mut config = pvfloorplan::server::RouterConfig::new(parsed.shards, exe, &parsed.store_dir);
+    config.worker_args = worker_args;
+
+    let router = Arc::new(pvfloorplan::server::Router::start(config)?);
+    // The proxy jobs are I/O-bound (blocked on a shard), so the transport
+    // pool must cover the fleet's total solve concurrency to saturate it.
+    let per_worker = parsed
+        .threads
+        .unwrap_or_else(|| Runtime::from_env().threads());
+    let transport = Runtime::with_threads(parsed.shards * per_worker + 2);
+    let server = Server::bind(
+        ("127.0.0.1", parsed.port),
+        Arc::clone(&router),
+        transport,
+        64,
+    )
+    .map_err(|e| format!("binding port {}: {e}", parsed.port))?;
+    write_port_file(parsed.port_file.as_deref(), server.local_addr())?;
+    println!(
+        "routing on http://{} ({} shard(s), profile {}, store root '{}')",
+        server.local_addr(),
+        parsed.shards,
+        parsed.profile,
+        parsed.store_dir
+    );
+    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats");
+    if parsed.watch_stdin {
+        wait_for_stdin_eof();
+        server.shutdown(); // drains, then tears the worker fleet down
+        return Ok(());
+    }
+    loop {
+        std::thread::park(); // route until killed (Ctrl-C)
     }
 }
 
@@ -541,6 +809,7 @@ fn run() -> Result<(), String> {
     match cli.get(1).map(String::as_str) {
         Some("suite") => return run_suite(rest),
         Some("serve") => return run_serve(rest),
+        Some("route") => return run_route(rest),
         Some("extract") => return run_extract(rest),
         _ => {}
     }
@@ -626,7 +895,7 @@ fn run() -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_extract_args, parse_serve_args, parse_suite_args, HELP};
+    use super::{parse_extract_args, parse_route_args, parse_serve_args, parse_suite_args, HELP};
 
     /// Every flag the three parsers accept, by subcommand. Adding a flag
     /// to `parse_args`/`parse_suite_args`/`parse_serve_args` without
@@ -653,7 +922,22 @@ mod tests {
         "--cache-mb",
         "--days",
         "--step",
+        "--profile",
         "--store-dir",
+        "--port-file",
+        "--watch-stdin",
+    ];
+    const ROUTE_FLAGS: &[&str] = &[
+        "--shards",
+        "--port",
+        "--threads",
+        "--cache-mb",
+        "--days",
+        "--step",
+        "--profile",
+        "--store-dir",
+        "--port-file",
+        "--watch-stdin",
     ];
     const EXTRACT_FLAGS: &[&str] = &["--store-dir", "--sites", "--seed", "--days", "--step"];
 
@@ -678,6 +962,7 @@ mod tests {
         for flag in MAIN_FLAGS
             .iter()
             .chain(SUITE_FLAGS)
+            .chain(ROUTE_FLAGS)
             .chain(SERVE_FLAGS)
             .chain(EXTRACT_FLAGS)
         {
@@ -685,6 +970,7 @@ mod tests {
         }
         assert!(HELP.contains("pvplan suite"));
         assert!(HELP.contains("pvplan serve"));
+        assert!(HELP.contains("pvplan route"));
         assert!(HELP.contains("pvplan extract"));
         for preset in pvfloorplan::gis::synth::CorpusPreset::all() {
             assert!(HELP.contains(preset.name()), "missing preset {preset}");
@@ -741,20 +1027,111 @@ mod tests {
             "2",
             "--step",
             "120",
+            "--profile",
+            "smoke",
             "--store-dir",
             "target/snapshots",
+            "--port-file",
+            "target/server.port",
+            "--watch-stdin",
         ]))
         .unwrap();
         assert_eq!(parsed.port, 0);
         assert_eq!(parsed.threads, Some(2));
-        assert_eq!(parsed.cache_mb, 64);
-        assert_eq!((parsed.days, parsed.step), (2, 120));
+        assert_eq!(parsed.cache_mb, Some(64));
+        assert_eq!((parsed.days, parsed.step), (Some(2), Some(120)));
+        assert_eq!(parsed.profile, "smoke");
         assert_eq!(parsed.store_dir.as_deref(), Some("target/snapshots"));
+        assert_eq!(parsed.port_file.as_deref(), Some("target/server.port"));
+        assert!(parsed.watch_stdin);
     }
 
     #[test]
     fn serve_store_dir_defaults_to_none() {
-        assert_eq!(parse_serve_args(&[]).unwrap().store_dir, None);
+        let parsed = parse_serve_args(&[]).unwrap();
+        assert_eq!(parsed.store_dir, None);
+        assert_eq!(parsed.port_file, None);
+        assert!(!parsed.watch_stdin);
+        assert_eq!(parsed.profile, "standard");
+        // Absent clock/cache flags defer to the profile's defaults.
+        assert_eq!(
+            (parsed.days, parsed.step, parsed.cache_mb),
+            (None, None, None)
+        );
+    }
+
+    #[test]
+    fn profiles_supply_defaults_that_flags_override() {
+        let smoke = super::resolve_config("smoke", None, None, None).unwrap();
+        let reference = pvfloorplan::server::ServiceConfig::smoke();
+        assert_eq!(smoke.days, reference.days);
+        assert_eq!(smoke.step_minutes, reference.step_minutes);
+        assert_eq!(smoke.cache_bytes, reference.cache_bytes);
+        // Explicit flags win over the profile.
+        let tuned = super::resolve_config("smoke", Some(1), Some(240), Some(32)).unwrap();
+        assert_eq!((tuned.days, tuned.step_minutes), (1, 240));
+        assert_eq!(tuned.cache_bytes, 32 << 20);
+        // Everything else (horizon, ladder budget) still comes from the base.
+        assert_eq!(tuned.horizon_sectors, reference.horizon_sectors);
+        assert!(super::resolve_config("huge", None, None, None).is_err());
+    }
+
+    #[test]
+    fn route_parser_accepts_the_documented_flags() {
+        let parsed = parse_route_args(&strings(&[
+            "--shards",
+            "3",
+            "--port",
+            "0",
+            "--threads",
+            "1",
+            "--cache-mb",
+            "32",
+            "--days",
+            "2",
+            "--step",
+            "120",
+            "--profile",
+            "tiny",
+            "--store-dir",
+            "target/router",
+            "--port-file",
+            "target/router.port",
+            "--watch-stdin",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.shards, 3);
+        assert_eq!(parsed.port, 0);
+        assert_eq!(parsed.threads, Some(1));
+        assert_eq!(parsed.cache_mb, Some(32));
+        assert_eq!((parsed.days, parsed.step), (Some(2), Some(120)));
+        assert_eq!(parsed.profile, "tiny");
+        assert_eq!(parsed.store_dir, "target/router");
+        assert_eq!(parsed.port_file.as_deref(), Some("target/router.port"));
+        assert!(parsed.watch_stdin);
+    }
+
+    #[test]
+    fn route_parser_rejects_bad_flags_with_messages_not_panics() {
+        for (args, needle) in [
+            (vec![] as Vec<&str>, "route requires --shards"),
+            (vec!["--shards", "0"], "--shards expects"),
+            (vec!["--shards", "65"], "--shards expects"),
+            (vec!["--shards", "lots"], "--shards expects"),
+            (vec!["--shards"], "--shards needs a value"),
+            (
+                vec!["--shards", "2", "--profile", "huge"],
+                "--profile expects",
+            ),
+            (vec!["--shards", "2", "--days", "366"], "--days must be"),
+            (vec!["--shards", "2", "--step", "7"], "--step must divide"),
+            (vec!["--shards", "2", "--sites", "4"], "unknown route flag"),
+        ] {
+            let err = parse_route_args(&strings(&args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+        // --help works without --shards (the help text prints instead).
+        assert!(parse_route_args(&strings(&["--help"])).unwrap().help);
     }
 
     #[test]
@@ -820,6 +1197,7 @@ mod tests {
             (vec!["--days", "0"], "--days must be in 1..=365"),
             (vec!["--step", "7"], "--step must divide"),
             (vec!["--step"], "--step needs a value"),
+            (vec!["--profile", "mega"], "--profile expects"),
             (vec!["--serve-hard"], "unknown serve flag"),
         ] {
             let err = parse_serve_args(&strings(&args)).unwrap_err();

@@ -6,14 +6,23 @@
 //! and asserts **byte-identical response bodies** across thread counts,
 //! arrival orders and cache states (cold vs warm) — the serving-side
 //! extension of the pinning in `tests/portfolio.rs`.
+//!
+//! The shard-router tests at the bottom extend the same contract across
+//! process boundaries: a real `pvplan route` fleet (router + N worker
+//! processes over TCP) must answer byte-identically to the in-process
+//! server at any shard count, and keep doing so through a `kill -9` of
+//! one worker.
 
+use pvfloorplan::json::JsonValue;
 use pvfloorplan::prelude::*;
 use pvfloorplan::server::http::send_request;
-use pvfloorplan::server::{PlacementService, Server, ServiceConfig};
+use pvfloorplan::server::{place_shard_key, HashRing, PlacementService, Server, ServiceConfig};
 use pvfloorplan::store::SiteStore;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The request mix: distinct sites, a repeated site, an explicit
 /// topology, an annealing request with a pinned seed — every shape the
@@ -323,4 +332,242 @@ fn responses_are_bit_identical_across_thread_counts_and_arrival_orders() {
     let explicit = pvfloorplan::json::parse(&reference[&3]).unwrap();
     assert_eq!(explicit.get("series").unwrap().as_number(), Some(2.0));
     assert_eq!(explicit.get("strings").unwrap().as_number(), Some(1.0));
+}
+
+/// A real `pvplan route` process under test: the router binary plus its
+/// supervised shard workers. Dropping it closes the router's stdin
+/// (`--watch-stdin`), which drains the listener and tears the whole
+/// worker fleet down via the held-stdin pipes; a kill is the fallback.
+struct RouterProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl RouterProc {
+    /// Spawns `pvplan route --shards N` rooted at `store_root` and waits
+    /// until the router has bound, health-checked every worker, and
+    /// written its port file.
+    fn start(shards: usize, store_root: &std::path::Path) -> Self {
+        std::fs::create_dir_all(store_root).expect("create store root");
+        let port_file = store_root.join("router.port");
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_pvplan"))
+            .args([
+                "route",
+                "--shards",
+                &shards.to_string(),
+                "--profile",
+                "tiny",
+                "--threads",
+                "1",
+                "--port",
+                "0",
+                "--port-file",
+                &port_file.display().to_string(),
+                "--store-dir",
+                &store_root.display().to_string(),
+                "--watch-stdin",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn pvplan route");
+        // The port file appears only after every worker passed its
+        // health check, so its presence means the fleet is serving.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "router did not write its port file in time"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        Self { child, addr }
+    }
+}
+
+impl Drop for RouterProc {
+    fn drop(&mut self) {
+        drop(self.child.stdin.take()); // EOF: graceful drain + fleet teardown
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while Instant::now() < deadline {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn stats_doc(addr: SocketAddr) -> JsonValue {
+    let (status, stats) = send_request(addr, "GET", "/v1/stats", b"").expect("stats transport");
+    assert_eq!(status, 200, "{stats}");
+    pvfloorplan::json::parse(&stats).expect("stats JSON")
+}
+
+/// Polls merged stats until `field` reaches at least `want`.
+fn wait_for_stat(addr: SocketAddr, field: &str, want: f64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let value = stats_doc(addr)
+            .get(field)
+            .and_then(|v| v.as_number())
+            .unwrap_or_else(|| panic!("stats field {field} missing"));
+        if value >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats field {field} stuck at {value}, wanted >= {want}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn router_shard_count_is_invisible_in_response_bytes() {
+    let bodies = request_bodies();
+    let bad_bodies = ["{", r#"{"spec": 3}"#, "not a spec at all"];
+
+    // The in-process single server is the reference: a shard fleet of
+    // any size must be indistinguishable from it in the bytes.
+    let reference_server = start_server(1);
+    let reference: Vec<String> = bodies
+        .iter()
+        .map(|b| post_place(reference_server.local_addr(), b))
+        .collect();
+    let bad_reference: Vec<(u16, String)> = bad_bodies
+        .iter()
+        .map(|b| {
+            send_request(
+                reference_server.local_addr(),
+                "POST",
+                "/v1/place",
+                b.as_bytes(),
+            )
+            .expect("transport")
+        })
+        .collect();
+    reference_server.shutdown();
+
+    for shards in [1usize, 3] {
+        let root = std::env::temp_dir().join(format!(
+            "pvroute-e2e-{}-{}shard",
+            std::process::id(),
+            shards
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let router = RouterProc::start(shards, &root);
+
+        // Rotated concurrent clients through the proxy: every arrival
+        // order, every placement, every cache state — reference bytes.
+        let by_request = fire_interleaved(router.addr, &bodies, 3);
+        for (idx, responses) in by_request {
+            for response in &responses {
+                assert_eq!(
+                    response, &reference[idx],
+                    "request {idx} diverged from the in-process server at {shards} shard(s)"
+                );
+            }
+        }
+
+        // Malformed bodies keep their deterministic 400 bytes through
+        // the proxy: the router hashes the raw bytes and lets the owning
+        // worker's own error path answer.
+        for (bad, (want_status, want_body)) in bad_bodies.iter().zip(&bad_reference) {
+            let (status, body) =
+                send_request(router.addr, "POST", "/v1/place", bad.as_bytes()).expect("transport");
+            assert_eq!(status, *want_status, "{body}");
+            assert_eq!(
+                &body, want_body,
+                "400 bytes changed through the proxy at {shards} shard(s)"
+            );
+        }
+
+        // The merged stats doc reports the full fleet as healthy.
+        let stats = stats_doc(router.addr);
+        let up = stats.get("shards_up").and_then(|v| v.as_number());
+        assert_eq!(up, Some(shards as f64), "all shards healthy");
+
+        drop(router);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn router_survives_kill_dash_nine_of_a_worker_and_rehydrates_it() {
+    let bodies = request_bodies();
+    let root = std::env::temp_dir().join(format!("pvroute-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let router = RouterProc::start(2, &root);
+
+    // Pre-kill baseline, and the shard map this test relies on: with two
+    // shards the mix splits (specs 0/1 on one shard, spec 2 on the
+    // other), so killing spec 0's owner leaves a live survivor to probe.
+    let baseline: Vec<String> = bodies.iter().map(|b| post_place(router.addr, b)).collect();
+    let ring = HashRing::new(2);
+    let victim = ring.shard_for(place_shard_key(bodies[0].as_bytes()));
+    let survivor_body = bodies
+        .iter()
+        .find(|b| ring.shard_for(place_shard_key(b.as_bytes())) != victim)
+        .expect("request mix spans both shards");
+
+    // Wait until every distinct site's snapshot is committed, so the
+    // victim's replacement has something to rehydrate from.
+    wait_for_stat(router.addr, "store_writes", 3.0);
+
+    // kill -9 the victim worker — no destructors, no goodbye.
+    let pids = stats_doc(router.addr)
+        .get("shard_pids")
+        .and_then(JsonValue::as_array)
+        .map(<[JsonValue]>::to_vec)
+        .expect("shard_pids in merged stats");
+    let pid = pids
+        .get(victim)
+        .and_then(JsonValue::as_number)
+        .expect("victim pid") as u64;
+    let killed = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {pid}");
+
+    // The surviving shard keeps answering immediately (no fleet-wide
+    // outage), and the supervisor brings the victim back.
+    assert_eq!(&post_place(router.addr, survivor_body), &baseline[2]);
+    wait_for_stat(router.addr, "shard_restarts", 1.0);
+    wait_for_stat(router.addr, "shards_up", 2.0);
+
+    // Full replay: every response — including the killed shard's sites —
+    // is byte-identical to the pre-kill baseline.
+    for (body, expected) in bodies.iter().zip(&baseline) {
+        assert_eq!(
+            &post_place(router.addr, body),
+            expected,
+            "post-restart bytes diverged from the pre-kill baseline"
+        );
+    }
+
+    // The restarted worker answered warm from its snapshot partition:
+    // the merged stats show store hits, proving rehydration (not a cold
+    // re-extraction that happens to match).
+    let stats = stats_doc(router.addr);
+    let hit_rate = stats.get("store_hit_rate").and_then(|v| v.as_number());
+    assert!(
+        hit_rate.is_some_and(|r| r > 0.0),
+        "store_hit_rate {hit_rate:?} after restart"
+    );
+    let restarts = stats.get("shard_restarts").and_then(|v| v.as_number());
+    assert!(restarts.is_some_and(|r| r >= 1.0), "restarts {restarts:?}");
+
+    drop(router);
+    let _ = std::fs::remove_dir_all(&root);
 }
