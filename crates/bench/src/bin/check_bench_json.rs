@@ -16,6 +16,17 @@
 //! top-level `"tool": "pvlint"` tag: scan counters plus a findings
 //! array whose entries carry rule, file, line and message.
 //!
+//! Two observability artifacts ride through the same gate:
+//!
+//! - **Prometheus exposition text** (a `/v1/metrics` scrape, recognised
+//!   by its leading `#` comment line): every sample must be declared by
+//!   a preceding `# TYPE`, every value must be a finite number, and the
+//!   core serving counters must be present.
+//! - **Trace-log JSONL** (written by `--trace-log`, recognised by a
+//!   first line that is a JSON object with a `"trace"` field): every
+//!   line must carry a 16-hex trace id, a target, an HTTP status, and
+//!   finite non-negative span durations.
+//!
 //! Usage: `cargo run -p pv_bench --bin check_bench_json [path]...`
 //! (no path: checks `BENCH_evaluator.json` at the repo root).
 
@@ -77,7 +88,150 @@ fn validate_pvlint(value: &JsonValue) -> Result<usize, String> {
     Ok(findings.len())
 }
 
+/// Validates a `/v1/metrics` scrape: Prometheus exposition text, version
+/// 0.0.4. Every non-comment line is `name[{labels}] value`; every sample
+/// family must be declared by a `# TYPE` line before its first sample;
+/// every value must be a finite number; and the serving counters the CI
+/// smoke step depends on must all be present. Returns the sample count.
+fn validate_exposition(doc: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in doc.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                match decl.split(' ').collect::<Vec<_>>()[..] {
+                    [name, "counter" | "gauge" | "histogram"] => declared.push(name.to_string()),
+                    _ => return Err(format!("line {n}: malformed TYPE declaration: {line}")),
+                }
+            } else if !comment.starts_with("HELP ") {
+                return Err(format!(
+                    "line {n}: comment is neither HELP nor TYPE: {line}"
+                ));
+            }
+            continue;
+        }
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: sample has no value: {line}"))?;
+        let family = name_labels
+            .split(['{', ' '])
+            .next()
+            .unwrap_or(name_labels)
+            // Histogram series share their family's TYPE declaration.
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        if !declared.iter().any(|d| d == family) {
+            return Err(format!(
+                "line {n}: sample '{family}' has no TYPE declaration"
+            ));
+        }
+        let x: f64 = value
+            .parse()
+            .map_err(|e| format!("line {n}: value '{value}' is not a number ({e})"))?;
+        if !x.is_finite() {
+            return Err(format!("line {n}: value {x} is not finite"));
+        }
+        samples += 1;
+    }
+    for required in [
+        "pv_requests_total",
+        "pv_place_ok_total",
+        "pv_errors_total",
+        "pv_place_latency_us",
+    ] {
+        if !declared.iter().any(|d| d == required) {
+            return Err(format!("exposition is missing the {required} family"));
+        }
+    }
+    Ok(samples)
+}
+
+/// Validates a `--trace-log` JSONL file: every line is one JSON event
+/// carrying a 16-hex `trace` id, a non-empty `target`, an integral HTTP
+/// `status`, and finite non-negative `total_us`/stage durations. Returns
+/// the event count.
+fn validate_trace_log(doc: &str) -> Result<usize, String> {
+    let mut events = 0usize;
+    for (i, line) in doc.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let event = parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        let trace = event
+            .get("trace")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("line {n}: missing string field \"trace\""))?;
+        if trace.len() != 16 || !trace.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("line {n}: trace id '{trace}' is not 16 hex digits"));
+        }
+        event
+            .get("target")
+            .and_then(JsonValue::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or(format!(
+                "line {n}: missing or empty string field \"target\""
+            ))?;
+        let status = event
+            .get("status")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("line {n}: missing numeric field \"status\""))?;
+        if !(100.0..=599.0).contains(&status) || status.fract() != 0.0 {
+            return Err(format!("line {n}: status {status} is not an HTTP status"));
+        }
+        let total = event
+            .get("total_us")
+            .and_then(JsonValue::as_number)
+            .ok_or(format!("line {n}: missing numeric field \"total_us\""))?;
+        if !total.is_finite() || total < 0.0 {
+            return Err(format!("line {n}: total_us = {total} is not a duration"));
+        }
+        let JsonValue::Object(stages) = event
+            .get("stages")
+            .ok_or(format!("line {n}: missing object field \"stages\""))?
+        else {
+            return Err(format!("line {n}: \"stages\" is not an object"));
+        };
+        for (stage, span) in stages {
+            let us = span
+                .as_number()
+                .ok_or(format!("line {n}: stage '{stage}' span is not a number"))?;
+            if !us.is_finite() || us < 0.0 {
+                return Err(format!(
+                    "line {n}: stage '{stage}' span {us} is not a duration"
+                ));
+            }
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return Err("trace log contains no events".into());
+    }
+    Ok(events)
+}
+
+/// A JSONL trace log is recognised by its first line: a complete JSON
+/// object carrying a `"trace"` field. (Pretty-printed artifacts never
+/// parse line-wise, so they fall through to the JSON paths.)
+fn looks_like_trace_log(doc: &str) -> bool {
+    doc.lines()
+        .find(|line| !line.is_empty())
+        .and_then(|line| parse(line).ok())
+        .is_some_and(|event| event.get("trace").is_some())
+}
+
 fn validate(doc: &str) -> Result<usize, String> {
+    if doc.trim_start().starts_with('#') {
+        return validate_exposition(doc);
+    }
+    if looks_like_trace_log(doc) {
+        return validate_trace_log(doc);
+    }
     let value = parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
     if value.get("tool").and_then(JsonValue::as_str) == Some("pvlint") {
         return validate_pvlint(&value);
@@ -501,6 +655,104 @@ mod tests {
                 r#"{"tool": "pvlint", "version": 1, "files_scanned": 9, "suppressed": 0}"#
                     .to_string(),
                 "missing findings array",
+            ),
+        ] {
+            assert!(validate(&doc).is_err(), "accepted {why}: {doc}");
+        }
+    }
+
+    const GOOD_EXPOSITION: &str = "# HELP pv_requests_total Requests routed, any endpoint.\n\
+        # TYPE pv_requests_total counter\n\
+        pv_requests_total 50\n\
+        # HELP pv_place_ok_total Successful /v1/place solves.\n\
+        # TYPE pv_place_ok_total counter\n\
+        pv_place_ok_total 42\n\
+        # HELP pv_errors_total Requests answered with a 4xx/5xx.\n\
+        # TYPE pv_errors_total counter\n\
+        pv_errors_total 0\n\
+        # HELP pv_place_latency_us End-to-end /v1/place latency, microseconds.\n\
+        # TYPE pv_place_latency_us histogram\n\
+        pv_place_latency_us_bucket{le=\"64\"} 1\n\
+        pv_place_latency_us_bucket{le=\"+Inf\"} 42\n\
+        pv_place_latency_us_sum 90000\n\
+        pv_place_latency_us_count 42\n";
+
+    #[test]
+    fn accepts_a_real_metrics_scrape() {
+        assert_eq!(validate(GOOD_EXPOSITION), Ok(7));
+        // Histogram series with labels resolve to their family's TYPE.
+        let stage = format!(
+            "{GOOD_EXPOSITION}# TYPE pv_stage_us histogram\n\
+             pv_stage_us_bucket{{stage=\"solve\",le=\"+Inf\"}} 3\n"
+        );
+        assert_eq!(validate(&stage), Ok(8));
+    }
+
+    #[test]
+    fn rejects_malformed_expositions() {
+        for (doc, why) in [
+            (
+                GOOD_EXPOSITION.replace("# TYPE pv_requests_total counter\n", ""),
+                "sample without a TYPE declaration",
+            ),
+            (
+                GOOD_EXPOSITION.replace("pv_place_ok_total 42", "pv_place_ok_total fast"),
+                "non-numeric value",
+            ),
+            (
+                GOOD_EXPOSITION.replace("pv_errors_total 0", "pv_errors_total NaN"),
+                "non-finite value",
+            ),
+            (
+                GOOD_EXPOSITION.replace("counter\n", "summary\n"),
+                "unknown metric type",
+            ),
+            (
+                GOOD_EXPOSITION.replace(
+                    "# TYPE pv_place_latency_us histogram",
+                    "# NOTE freeform commentary",
+                ),
+                "comment that is neither HELP nor TYPE",
+            ),
+            (
+                "# HELP x y\n# TYPE x counter\nx 1\n".to_string(),
+                "missing the required serving families",
+            ),
+        ] {
+            assert!(validate(&doc).is_err(), "accepted {why}: {doc}");
+        }
+    }
+
+    const GOOD_TRACE_LOG: &str = concat!(
+        "{\"trace\": \"00f1d2c3b4a59687\", \"target\": \"/v1/place\", \"status\": 200, ",
+        "\"total_us\": 5200, \"stages\": {\"extract\": 4100, \"solve\": 900}}\n",
+        "{\"trace\": \"deadbeef00000001\", \"target\": \"/v1/stats\", \"status\": 200, ",
+        "\"total_us\": 40, \"stages\": {}}\n",
+    );
+
+    #[test]
+    fn accepts_a_trace_log_and_rejects_broken_events() {
+        assert_eq!(validate(GOOD_TRACE_LOG), Ok(2));
+        for (doc, why) in [
+            (
+                GOOD_TRACE_LOG.replace("00f1d2c3b4a59687", "xyz"),
+                "short non-hex trace id",
+            ),
+            (
+                GOOD_TRACE_LOG.replace("\"status\": 200", "\"status\": 999"),
+                "out-of-range status",
+            ),
+            (
+                GOOD_TRACE_LOG.replace("\"total_us\": 5200, ", ""),
+                "missing total_us",
+            ),
+            (
+                GOOD_TRACE_LOG.replace("\"solve\": 900", "\"solve\": -1"),
+                "negative span",
+            ),
+            (
+                GOOD_TRACE_LOG.replace("\"target\": \"/v1/place\"", "\"target\": \"\""),
+                "empty target",
             ),
         ] {
             assert!(validate(&doc).is_err(), "accepted {why}: {doc}");

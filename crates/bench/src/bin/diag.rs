@@ -21,8 +21,8 @@ use pv_bench::{
 use pv_floorplan::*;
 use pv_gis::{PaperRoof, RoofScenario, Site, SolarExtractor};
 use pv_model::Topology;
+use pv_obs::{Histogram, Timer};
 use pv_runtime::Runtime;
-use std::time::Instant;
 
 fn main() {
     let cli: Vec<String> = std::env::args().skip(1).collect();
@@ -103,14 +103,18 @@ fn timings(runtime: Runtime) -> Result<(), String> {
         runtime.threads()
     );
 
+    // Same histogram type the serving layer records into: per-rep spans
+    // land in log buckets, but `sum`/`count` are exact, so the reported
+    // mean loses nothing over raw Instant arithmetic.
     let time = |f: &mut dyn FnMut()| -> f64 {
         f(); // warm-up
-        let reps = 5;
-        let t0 = Instant::now();
-        for _ in 0..reps {
+        let mut hist = Histogram::new();
+        for _ in 0..5 {
+            let t = Timer::start();
             f();
+            hist.record(t.elapsed_us());
         }
-        t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3
+        hist.sum() as f64 / hist.count() as f64 / 1e3
     };
 
     let seq_extractor = SolarExtractor::new(Site::turin(), clock)

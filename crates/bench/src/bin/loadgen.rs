@@ -47,17 +47,22 @@
 //! ordering-insensitive [`compare_response_sets`]); `check_bench_json`
 //! gates the scaling ratio on hosts where `cpus` makes it meaningful.
 //!
+//! After every phase the harness scrapes `pv_place_ok_total` from the
+//! target's `/v1/metrics` and asserts the counter's delta equals the
+//! number of requests it sent — the server-side accounting (fleet-merged
+//! when the target is a router) must agree with the client's ledger.
+//!
 //! Bad flags exit 1 with an `Error:` message, never a panic.
 
 use pv_bench::json;
 use pv_gis::ScenarioSpec;
+use pv_obs::Timer;
 use pv_runtime::Runtime;
 use pv_server::http::send_request;
 use pv_server::{PlacementService, Router, RouterConfig, Server, ServiceConfig};
 use pv_store::SiteStore;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct LoadgenArgs {
@@ -153,14 +158,14 @@ fn run_phase(addr: SocketAddr, bodies: &[String], clients: usize) -> Result<Vec<
                 scope.spawn(move || -> Result<Vec<u64>, String> {
                     let mut latencies = Vec::new();
                     for body in bodies.iter().skip(c).step_by(clients) {
-                        let t0 = Instant::now();
+                        let t0 = Timer::start();
                         let (status, response) =
                             send_request(addr, "POST", "/v1/place", body.as_bytes())
                                 .map_err(|e| format!("request failed: {e}"))?;
                         if status != 200 {
                             return Err(format!("HTTP {status}: {response}"));
                         }
-                        latencies.push(t0.elapsed().as_micros() as u64);
+                        latencies.push(t0.elapsed_us());
                     }
                     Ok(latencies)
                 })
@@ -287,6 +292,49 @@ fn stat_number(addr: SocketAddr, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("stats body missing numeric '{key}'"))
 }
 
+/// Extracts one counter's value from Prometheus exposition text. Pure,
+/// so the parsing is unit-testable: `# HELP`/`# TYPE` comment lines are
+/// skipped by the prefix match, and the mandatory space after the metric
+/// name keeps `pv_place_ok_total` from matching a longer name it
+/// prefixes.
+fn counter_from_exposition(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+        })
+        .and_then(|value| value.trim().parse().ok())
+}
+
+/// Scrapes `pv_place_ok_total` from the target's `/v1/metrics`. Against
+/// a router this is the fleet-merged counter, so the cross-check also
+/// exercises the stats fan-out.
+fn scrape_place_ok(addr: SocketAddr) -> Result<u64, String> {
+    let (status, body) = send_request(addr, "GET", "/v1/metrics", b"")
+        .map_err(|e| format!("metrics scrape failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics returned HTTP {status}"));
+    }
+    counter_from_exposition(&body, "pv_place_ok_total")
+        .ok_or_else(|| "metrics exposition missing pv_place_ok_total".to_string())
+}
+
+/// The request-accounting cross-check: after each phase the scraped
+/// `pv_place_ok_total` delta must equal the number of requests the
+/// harness actually sent — every 200 the clients saw was counted exactly
+/// once, through routers and respawns alike.
+fn check_place_counter(label: &str, before: u64, after: u64, sent: usize) -> Result<(), String> {
+    let counted = after.saturating_sub(before);
+    if counted == sent as u64 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label}: sent {sent} request(s) but pv_place_ok_total moved by {counted} — \
+             the server lost or double-counted requests"
+        ))
+    }
+}
+
 /// Replays the corpus sequentially, keeping both latencies and response
 /// bodies — the shared measurement + evidence-gathering pass behind the
 /// restart-recovery and router byte-identity assertions.
@@ -294,13 +342,13 @@ fn replay_corpus(addr: SocketAddr, bodies: &[String]) -> Result<(Vec<u64>, Vec<S
     let mut latencies = Vec::with_capacity(bodies.len());
     let mut responses = Vec::with_capacity(bodies.len());
     for body in bodies {
-        let t0 = Instant::now();
+        let t0 = Timer::start();
         let (status, response) = send_request(addr, "POST", "/v1/place", body.as_bytes())
             .map_err(|e| format!("request failed: {e}"))?;
         if status != 200 {
             return Err(format!("HTTP {status}: {response}"));
         }
-        latencies.push(t0.elapsed().as_micros() as u64);
+        latencies.push(t0.elapsed_us());
         responses.push(response);
     }
     Ok((latencies, responses))
@@ -412,6 +460,7 @@ fn run_router_curve(
         eprintln!("loadgen: {shards}-shard fleet up at {addr}...");
 
         // Cold replay: the byte-identity evidence across shard counts.
+        let ok_start = scrape_place_ok(addr)?;
         let (_, responses) = replay_corpus(addr, bodies)?;
         match &reference {
             None => reference = Some(responses),
@@ -421,13 +470,26 @@ fn run_router_curve(
                 &responses,
             )?,
         }
+        let ok_cold = scrape_place_ok(addr)?;
+        check_place_counter(
+            &format!("shards_{shards} cold replay"),
+            ok_start,
+            ok_cold,
+            bodies.len(),
+        )?;
 
         // Warm mix through the proxy: the throughput measurement.
         let before = cache_counts(addr)?;
-        let t0 = Instant::now();
+        let t0 = Timer::start();
         let warm = run_phase(addr, &mix, args.clients)?;
-        let wall = t0.elapsed().as_secs_f64();
+        let wall = t0.elapsed_us() as f64 / 1e6;
         let after = cache_counts(addr)?;
+        check_place_counter(
+            &format!("shards_{shards} warm mix"),
+            ok_cold,
+            scrape_place_ok(addr)?,
+            mix.len(),
+        )?;
         println!(
             "shards_{shards}: {:>5} req, p50 {:>8.2} ms, p99 {:>8.2} ms, {:.1} req/s ({cpus} cpu(s))",
             warm.len(),
@@ -490,19 +552,23 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
     // server's counters, so prior traffic on an external `--addr` server
     // never contaminates a phase's number.
     let before_cold = cache_counts(addr)?;
-    let t0 = Instant::now();
+    let ok_start = scrape_place_ok(addr)?;
+    let t0 = Timer::start();
     let cold = run_phase(addr, &bodies, 1)?;
-    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold_wall = t0.elapsed_us() as f64 / 1e6;
     let before_warm = cache_counts(addr)?;
+    let ok_cold = scrape_place_ok(addr)?;
+    check_place_counter("cold", ok_start, ok_cold, bodies.len())?;
 
     // Phase 2 — warm mix: N requests cycling the same sites, concurrent.
     let mix: Vec<String> = (0..args.requests)
         .map(|r| bodies[r % bodies.len()].clone())
         .collect();
-    let t0 = Instant::now();
+    let t0 = Timer::start();
     let warm = run_phase(addr, &mix, args.clients)?;
-    let warm_wall = t0.elapsed().as_secs_f64();
+    let warm_wall = t0.elapsed_us() as f64 / 1e6;
     let after_warm = cache_counts(addr)?;
+    check_place_counter("warm_mix", ok_cold, scrape_place_ok(addr)?, mix.len())?;
 
     let hit_rate = phase_rate(before_warm, after_warm);
 
@@ -533,16 +599,28 @@ fn run(args: &LoadgenArgs) -> Result<(), String> {
 
         // Restart A — no store: the baseline price of coming back cold.
         let (server, _) = spawn_server(args.threads, None)?;
-        let t0 = Instant::now();
+        let t0 = Timer::start();
         let (cold_lat, cold_responses) = replay_corpus(server.local_addr(), &bodies)?;
-        let restart_cold_wall = t0.elapsed().as_secs_f64();
+        let restart_cold_wall = t0.elapsed_us() as f64 / 1e6;
+        check_place_counter(
+            "restart_cold",
+            0,
+            scrape_place_ok(server.local_addr())?,
+            bodies.len(),
+        )?;
         server.shutdown();
 
         // Restart B — hydrated from the snapshot store.
         let (server, service) = spawn_server(args.threads, store_dir)?;
-        let t0 = Instant::now();
+        let t0 = Timer::start();
         let (hydrated_lat, hydrated_responses) = replay_corpus(server.local_addr(), &bodies)?;
-        let hydrated_wall = t0.elapsed().as_secs_f64();
+        let hydrated_wall = t0.elapsed_us() as f64 / 1e6;
+        check_place_counter(
+            "restart_hydrated",
+            0,
+            scrape_place_ok(server.local_addr())?,
+            bodies.len(),
+        )?;
         let store_hits = stat_number(server.local_addr(), "store_hits")?;
         let cache_hits = stat_number(server.local_addr(), "cache_hits")?;
         let snapshots = stat_number(server.local_addr(), "store_hydrated")?;
@@ -714,6 +792,31 @@ mod tests {
 
         let r = record("s", "restart_hydrated", &[1000], 0.5, 1.0, Some(1.0));
         assert_eq!(r.get("store_hit_rate").unwrap().as_number(), Some(1.0));
+    }
+
+    #[test]
+    fn exposition_counter_parses_values_and_skips_comments() {
+        let text = "# HELP pv_place_ok_total Successful /v1/place solves.\n\
+                    # TYPE pv_place_ok_total counter\n\
+                    pv_place_ok_totals 9\n\
+                    pv_place_ok_total 42\n\
+                    pv_requests_total 50\n";
+        assert_eq!(counter_from_exposition(text, "pv_place_ok_total"), Some(42));
+        assert_eq!(counter_from_exposition(text, "pv_requests_total"), Some(50));
+        assert_eq!(counter_from_exposition(text, "pv_errors_total"), None);
+        assert_eq!(counter_from_exposition("", "pv_place_ok_total"), None);
+    }
+
+    #[test]
+    fn place_counter_check_demands_an_exact_delta() {
+        assert_eq!(check_place_counter("p", 10, 15, 5), Ok(()));
+        let err = check_place_counter("cold", 10, 14, 5).unwrap_err();
+        assert!(
+            err.contains("cold") && err.contains("sent 5") && err.contains("moved by 4"),
+            "{err}"
+        );
+        // A counter that went backwards (impossible without a bug) fails.
+        assert!(check_place_counter("p", 10, 8, 2).is_err());
     }
 
     #[test]

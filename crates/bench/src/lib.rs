@@ -91,6 +91,7 @@ pub fn runtime_from_args() -> Runtime {
     match args.get(i + 1).map(|v| pv_runtime::parse_threads(v)) {
         Some(Some(n)) => Runtime::with_threads(n),
         _ => {
+            // pvlint: allow(R03): this IS the CLI error path, shared by every bench bin
             eprintln!(
                 "Error: --threads expects a positive integer, got {:?}",
                 args.get(i + 1).map_or("nothing", String::as_str)

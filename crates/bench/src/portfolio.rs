@@ -363,6 +363,7 @@ pub fn drive(
     opts: &PortfolioOptions,
     out: Option<&str>,
 ) -> std::io::Result<PathBuf> {
+    // pvlint: allow(R03): progress narration for the interactive harness; the artifact itself goes to the JSON file
     eprintln!(
         "portfolio: preset {preset} (seed {seed}), {} scenario(s), {} steps, {} thread(s)...",
         preset.scenario_count(),

@@ -32,7 +32,7 @@ use crate::lexer::{self, ByteClass};
 /// structurally in addition to these patterns.
 #[derive(Debug)]
 pub struct Rule {
-    /// Stable rule ID (`D01` … `R02`), the key used by `allow(...)`.
+    /// Stable rule ID (`D01` … `R03`), the key used by `allow(...)`.
     pub id: &'static str,
     /// Severity label carried into the JSON artifact; every rule is
     /// currently `deny` (any unsuppressed finding fails the build).
@@ -117,6 +117,13 @@ pub const RULES: &[Rule] = &[
         summary: "stdout print in library code; return data and let the bins do the talking",
         patterns: &["println!", "dbg!"],
     },
+    Rule {
+        id: "R03",
+        severity: "deny",
+        summary: "ad-hoc stderr print in library code; emit structured events through a \
+                  pv_obs sink (TraceLog) or return an error for the CLI layer to report",
+        patterns: &["eprintln!", "eprint!", "io::stderr"],
+    },
 ];
 
 /// Looks a rule up by ID. Meta rules are not in the table (they cannot
@@ -165,8 +172,10 @@ const RESULT_CRATES: &[&str] = &["units", "geom", "gis", "model", "floorplan", "
 /// column of the DESIGN.md rule table:
 ///
 /// * `D01` — everywhere outside test code.
-/// * `D02` — exempt: `pv_bench` (the measurement harness) and files
-///   named `stats.rs` (the allowlisted timing modules).
+/// * `D02` — exempt: `pv_bench` (the measurement harness), `pv_obs`
+///   (the sanctioned wall-clock home — every serving-side timer is a
+///   `pv_obs::Timer`, so the clock reads live in one audited crate),
+///   and files named `stats.rs` (the allowlisted timing modules).
 /// * `D03` — exempt: `pv_runtime` (the one crate allowed to own threads
 ///   and child processes — `pv_runtime::proc` is the sanctioned home of
 ///   `process::Command`, so the shard router supervises workers through
@@ -180,13 +189,20 @@ const RESULT_CRATES: &[&str] = &["units", "geom", "gis", "model", "floorplan", "
 ///   (they run inside request handling and parse untrusted bytes), and
 ///   the `pvplan` CLI body.
 /// * `R02` — library code (anything that is not a `bin/` target).
+/// * `R03` — library code outside `pv_obs` (whose sinks are the one
+///   sanctioned place to own an output stream; CLI `bin/` error paths
+///   keep printing to stderr, which is what stderr is for).
 pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
     if class.is_test {
         return false;
     }
     match rule.id {
         "D01" => true,
-        "D02" => class.crate_name != "bench" && class.file_name != "stats.rs",
+        "D02" => {
+            class.crate_name != "bench"
+                && class.crate_name != "obs"
+                && class.file_name != "stats.rs"
+        }
         "D03" => class.crate_name != "runtime",
         "D04" => RESULT_CRATES.contains(&class.crate_name.as_str()),
         "D05" => true,
@@ -196,6 +212,7 @@ pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
                 || rel_path == "src/bin/pvplan.rs"
         }
         "R02" => !class.is_bin,
+        "R03" => !class.is_bin && class.crate_name != "obs",
         _ => false,
     }
 }
@@ -204,7 +221,7 @@ pub fn rule_applies(rule: &Rule, class: &FileClass, rel_path: &str) -> bool {
 /// malformed pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule ID (`D01`…`R02`, or meta `X01`/`X02`).
+    /// Rule ID (`D01`…`R03`, or meta `X01`/`X02`).
     pub rule: String,
     /// Severity label of the rule.
     pub severity: String,
@@ -566,10 +583,13 @@ mod tests {
     }
 
     #[test]
-    fn d02_exempts_bench_and_stats_modules() {
+    fn d02_exempts_bench_obs_and_stats_modules() {
         let src = "let t = std::time::Instant::now();\n";
         assert_eq!(fire(LIB, src), ["D02@1"]);
         assert!(fire("crates/bench/src/fake.rs", src).is_empty());
+        // pv_obs is the sanctioned wall-clock home: every serving-side
+        // span timer reads the clock through pv_obs::Timer.
+        assert!(fire("crates/obs/src/fake.rs", src).is_empty());
         assert!(fire("crates/server/src/stats.rs", src).is_empty());
     }
 
@@ -658,6 +678,27 @@ mod tests {
         let src = "println!(\"x\");\ndbg!(1);\n";
         assert_eq!(fire(LIB, src), ["R02@1", "R02@2"]);
         assert!(fire("crates/bench/src/bin/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r03_fires_on_stderr_prints_in_libraries_but_not_bins_or_obs() {
+        let src = "eprintln!(\"x\");\neprint!(\"y\");\nlet w = std::io::stderr();\n";
+        assert_eq!(fire(LIB, src), ["R03@1", "R03@2", "R03@3"]);
+        assert_eq!(
+            fire("crates/server/src/fake.rs", src),
+            ["R03@1", "R03@2", "R03@3"]
+        );
+        // CLI error paths keep stderr (that is what stderr is for)...
+        assert!(fire("crates/bench/src/bin/fake.rs", src).is_empty());
+        assert!(fire("src/bin/pvplan.rs", src).is_empty());
+        // ...and pv_obs sinks are the sanctioned stream owners.
+        assert!(fire("crates/obs/src/fake.rs", src).is_empty());
+        // An audited pragma still works for deliberate harness narration.
+        let allowed =
+            "// pvlint: allow(R03): progress narration, not data\neprintln!(\"running...\");\n";
+        let lint = lint_source("crates/bench/src/fake.rs", allowed);
+        assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+        assert_eq!(lint.suppressed, 1);
     }
 
     #[test]

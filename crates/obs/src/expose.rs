@@ -1,0 +1,182 @@
+//! Prometheus text-format rendering for the `/v1/metrics` endpoint.
+//!
+//! Deliberately outside the determinism boundary: `/v1/metrics` output
+//! depends on traffic history and timing, so it lives on its own
+//! endpoint with its own content type and never shares a byte with
+//! `/v1/place`. The format is the Prometheus exposition text format
+//! (version 0.0.4): `# HELP` / `# TYPE` comments followed by samples,
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`.
+//!
+//! Histogram `le` bounds are the powers of two from 64µs to ~16.8s.
+//! Every power of two is an exact bucket boundary of
+//! [`Histogram`](crate::Histogram), so the cumulative counts are exact
+//! counts of samples below each bound (`le` here is exclusive, which a
+//! fixed boundary set makes consistent scrape to scrape).
+
+use crate::hist::Histogram;
+
+/// The content type `/v1/metrics` responses carry.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Cumulative-bucket bounds in microseconds: 2^6 .. 2^24.
+const LE_BOUNDS_US: [u64; 19] = [
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072, 262_144, 524_288,
+    1_048_576, 2_097_152, 4_194_304, 8_388_608, 16_777_216,
+];
+
+/// Incremental builder for a Prometheus text exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// Appends a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends a histogram as cumulative `le` buckets plus `_sum` and
+    /// `_count`, with an optional fixed label (e.g. `stage="solve"`)
+    /// applied to every sample.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+        hist: &Histogram,
+    ) {
+        // One HELP/TYPE header per metric family: labeled series of the
+        // same family follow the first header.
+        if !self.out.contains(&format!("# TYPE {name} histogram")) {
+            self.header(name, help, "histogram");
+        }
+        let tag = |extra: &str| match label {
+            Some((key, value)) => {
+                if extra.is_empty() {
+                    format!("{{{key}=\"{value}\"}}")
+                } else {
+                    format!("{{{key}=\"{value}\", {extra}}}")
+                }
+            }
+            None => {
+                if extra.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{extra}}}")
+                }
+            }
+        };
+        for bound in LE_BOUNDS_US {
+            let below = hist.count_below(bound);
+            self.out.push_str(&format!(
+                "{name}_bucket{} {below}\n",
+                tag(&format!("le=\"{bound}\""))
+            ));
+        }
+        self.out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            tag("le=\"+Inf\""),
+            hist.count()
+        ));
+        self.out
+            .push_str(&format!("{name}_sum{} {}\n", tag(""), hist.sum()));
+        self.out
+            .push_str(&format!("{name}_count{} {}\n", tag(""), hist.count()));
+    }
+
+    /// Finishes the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let mut hist = Histogram::new();
+        for v in [100u64, 1000, 50_000] {
+            hist.record(v);
+        }
+        let mut doc = Exposition::new();
+        doc.counter("pv_requests_total", "Requests accepted.", 3);
+        doc.gauge("pv_cache_hit_rate", "Warm-cache hit rate.", 0.5);
+        doc.histogram("pv_place_latency_us", "Place latency.", None, &hist);
+        let text = doc.finish();
+
+        assert!(text.contains("# TYPE pv_requests_total counter"));
+        assert!(text.contains("pv_requests_total 3"));
+        assert!(text.contains("# TYPE pv_cache_hit_rate gauge"));
+        assert!(text.contains("pv_cache_hit_rate 0.5"));
+        assert!(text.contains("# TYPE pv_place_latency_us histogram"));
+        assert!(text.contains("pv_place_latency_us_bucket{le=\"128\"} 1"));
+        assert!(text.contains("pv_place_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pv_place_latency_us_sum 51100"));
+        assert!(text.contains("pv_place_latency_us_count 3"));
+        assert!(text.starts_with("# HELP"));
+    }
+
+    #[test]
+    fn labeled_histogram_series_share_one_header() {
+        let mut hist = Histogram::new();
+        hist.record(10);
+        let mut doc = Exposition::new();
+        doc.histogram(
+            "pv_stage_us",
+            "Stage latency.",
+            Some(("stage", "solve")),
+            &hist,
+        );
+        doc.histogram(
+            "pv_stage_us",
+            "Stage latency.",
+            Some(("stage", "encode")),
+            &hist,
+        );
+        let text = doc.finish();
+        assert_eq!(text.matches("# TYPE pv_stage_us histogram").count(), 1);
+        assert!(text.contains("pv_stage_us_bucket{stage=\"solve\", le=\"+Inf\"} 1"));
+        assert!(text.contains("pv_stage_us_count{stage=\"encode\"} 1"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let mut hist = Histogram::new();
+        for v in [1u64, 64, 65, 1024, 1_000_000, 20_000_000] {
+            hist.record(v);
+        }
+        let mut doc = Exposition::new();
+        doc.histogram("m_us", "m.", None, &hist);
+        let text = doc.finish();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("m_us_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "{line}");
+            last = n;
+        }
+        assert_eq!(last, 6, "+Inf bucket is the total count");
+    }
+}

@@ -1,0 +1,326 @@
+//! Fixed log-bucketed histogram with exact cross-process merging.
+//!
+//! Buckets are log-linear with four sub-buckets per octave: values
+//! `0..=3` get exact unit buckets, and every value `v >= 4` lands in
+//! bucket `4 + 4*(e-2) + (m-4)` where `e = floor(log2 v)` and
+//! `m = v >> (e-2)` is the top three bits of `v`. Bucket `b >= 4` covers
+//! `[(4+s) << o, (5+s) << o)` for octave `o = (b-4)/4` and sub-bucket
+//! `s = (b-4)%4`, so the relative width of any bucket is at most 25% —
+//! a quantile read from the histogram is within one bucket (≤ 25%
+//! relative error) of the exact sample quantile.
+//!
+//! The bucket layout is *fixed*: every histogram has the same 252
+//! buckets, so merging is bucket-wise addition and therefore exact —
+//! the merged histogram is indistinguishable from one that observed the
+//! concatenated sample stream. That is the property the sharded router
+//! relies on, and the one `tests/hist_prop.rs` pins with proptest.
+
+use pv_json::JsonValue;
+
+/// Number of buckets: 4 exact unit buckets for `0..=3`, then 4
+/// sub-buckets for each of the 62 octaves `[2^2, 2^3) .. [2^63, 2^64)`.
+pub const BUCKET_COUNT: usize = 4 + 62 * 4;
+
+/// A mergeable log-bucketed histogram of `u64` samples (microseconds,
+/// by convention, throughout the serving stack).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value < 4 {
+            value as usize
+        } else {
+            let e = 63 - value.leading_zeros() as usize; // 2..=63
+            let m = (value >> (e - 2)) as usize; // 4..=7
+            4 + (e - 2) * 4 + (m - 4)
+        }
+    }
+
+    /// The smallest value belonging to bucket `bucket` — the canonical
+    /// representative reported by [`Histogram::quantile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= BUCKET_COUNT`.
+    #[must_use]
+    pub fn bucket_lower(bucket: usize) -> u64 {
+        assert!(bucket < BUCKET_COUNT, "bucket {bucket} out of range");
+        if bucket < 4 {
+            bucket as u64
+        } else {
+            let octave = (bucket - 4) / 4;
+            let sub = (bucket - 4) % 4;
+            ((4 + sub) as u64) << octave
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Adds every bucket of `other` into `self`. Because the bucket
+    /// layout is fixed, this is exact: the result equals a histogram
+    /// that observed both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 < q <= 1.0`), reported as the
+    /// lower bound of the bucket holding the ranked sample — the same
+    /// nearest-rank rule as `pv_server::percentile_us`, so histogram
+    /// quantiles and exact sample quantiles always land in the same
+    /// bucket. Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lower(bucket);
+            }
+        }
+        // Unreachable while count == sum of bucket counts; keep the
+        // metric path panic-free regardless.
+        Self::bucket_lower(BUCKET_COUNT - 1)
+    }
+
+    /// Number of samples strictly below `bound`. Exact whenever `bound`
+    /// is a bucket boundary (every power of two is one) — which is how
+    /// [`Exposition`](crate::Exposition) picks its `le` bounds.
+    #[must_use]
+    pub fn count_below(&self, bound: u64) -> u64 {
+        let mut total = 0;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if Self::bucket_lower(bucket) < bound {
+                total += n;
+            }
+        }
+        total
+    }
+
+    /// Sparse JSON encoding: an array of `[bucket, count]` pairs for the
+    /// non-empty buckets, plus the saturating sum as a final
+    /// `[-1, sum]` sentinel pair. Compact in the common case (a handful
+    /// of hot buckets) and carried inside `/v1/stats` bodies so the
+    /// router can merge shard histograms exactly.
+    #[must_use]
+    pub fn to_sparse(&self) -> JsonValue {
+        let mut pairs: Vec<JsonValue> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(bucket, &n)| {
+                JsonValue::Array(vec![
+                    JsonValue::Number(bucket as f64),
+                    JsonValue::Number(n as f64),
+                ])
+            })
+            .collect();
+        pairs.push(JsonValue::Array(vec![
+            JsonValue::Number(-1.0),
+            JsonValue::Number(self.sum as f64),
+        ]));
+        JsonValue::Array(pairs)
+    }
+
+    /// Decodes [`Histogram::to_sparse`] output. Returns `None` on any
+    /// shape mismatch — a malformed shard body must degrade the merge,
+    /// never panic the stats path.
+    #[must_use]
+    pub fn from_sparse(value: &JsonValue) -> Option<Histogram> {
+        let pairs = value.as_array()?;
+        let mut hist = Histogram::new();
+        for pair in pairs {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let key = pair[0].as_number()?;
+            let n = pair[1].as_number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return None;
+            }
+            if key == -1.0 {
+                hist.sum = n as u64;
+            } else {
+                let bucket = key as usize;
+                if key.fract() != 0.0 || key < 0.0 || bucket >= BUCKET_COUNT {
+                    return None;
+                }
+                hist.counts[bucket] += n as u64;
+                hist.count += n as u64;
+            }
+        }
+        Some(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_lower_round_trip() {
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1023, 1024, u64::MAX] {
+            let b = Histogram::bucket_index(v);
+            assert!(b < BUCKET_COUNT);
+            let lower = Histogram::bucket_lower(b);
+            assert!(lower <= v, "lower {lower} > value {v}");
+            if b + 1 < BUCKET_COUNT {
+                assert!(
+                    Histogram::bucket_lower(b + 1) > v,
+                    "value {v} not below next bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_at_most_25_percent() {
+        for b in 4..BUCKET_COUNT - 1 {
+            let lower = Histogram::bucket_lower(b);
+            let upper = Histogram::bucket_lower(b + 1);
+            assert!(upper > lower);
+            // Width is 1<<octave, which is at most lower/4 because the
+            // lower bound is (4+sub)<<octave with sub in 0..=3.
+            assert_eq!(upper - lower, 1u64 << ((b - 4) / 4), "bucket {b}");
+            assert!(upper - lower <= lower / 4, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut pooled = Histogram::new();
+        for (i, v) in [3u64, 17, 17, 250, 4096, 99999].iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(*v);
+            } else {
+                right.record(*v);
+            }
+            pooled.record(*v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, pooled);
+    }
+
+    #[test]
+    fn quantile_matches_exact_bucket_on_a_known_stream() {
+        let mut hist = Histogram::new();
+        let mut samples: Vec<u64> = (1..=100).map(|i| i * 100).collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99, 1.0] {
+            let rank = ((q * 100.0).ceil() as usize).clamp(1, 100) - 1;
+            let exact = samples[rank];
+            assert_eq!(
+                hist.quantile(q),
+                Histogram::bucket_lower(Histogram::bucket_index(exact)),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn sparse_encoding_round_trips() {
+        let mut hist = Histogram::new();
+        for v in [0u64, 3, 90, 90, 1500, 123_456_789] {
+            hist.record(v);
+        }
+        let encoded = hist.to_sparse().to_json_string();
+        let parsed = pv_json::parse(&encoded).expect("valid JSON");
+        assert_eq!(Histogram::from_sparse(&parsed), Some(hist));
+    }
+
+    #[test]
+    fn sparse_decoding_rejects_malformed_shapes() {
+        for bad in [
+            "3",
+            "[[1]]",
+            "[[1, 2, 3]]",
+            r#"[["a", 2]]"#,
+            "[[1, -2]]",
+            "[[1.5, 2]]",
+            "[[9999, 2]]",
+        ] {
+            let doc = pv_json::parse(bad).expect("valid JSON");
+            assert_eq!(Histogram::from_sparse(&doc), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn count_below_is_exact_at_power_of_two_bounds() {
+        let mut hist = Histogram::new();
+        for v in [100u64, 1023, 1024, 1025, 5000] {
+            hist.record(v);
+        }
+        assert_eq!(hist.count_below(1024), 2);
+        assert_eq!(hist.count_below(8192), 5);
+        assert_eq!(hist.count_below(64), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded, lossy, ring-buffered trace-event log with a JSONL file sink.
+//!
+//! The request path only ever pushes into an in-memory ring under a
+//! short lock; flushing to disk happens later, on a worker-pool thread
+//! after the response bytes are already on the wire. When the ring is
+//! full (the writer fell behind) new events are *dropped and counted* —
+//! lossy by design, because the alternative (blocking a request on disk
+//! I/O) would violate the observability contract. The drop counter is
+//! exported through `/v1/stats` and `/v1/metrics` so a lossy window is
+//! visible, not silent.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity: enough for a burst of a few thousand requests
+/// between flushes at smoke scale without unbounded memory.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of JSONL event lines draining to a file.
+#[derive(Debug)]
+pub struct TraceLog {
+    ring: Mutex<VecDeque<String>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    sink: Mutex<File>,
+}
+
+impl TraceLog {
+    /// Creates (truncating) the JSONL file at `path` and an empty ring
+    /// with the default capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created
+    /// — the one moment observability may fail loudly, at startup,
+    /// before any request is in flight.
+    pub fn create(path: &Path) -> std::io::Result<TraceLog> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(TraceLog {
+            ring: Mutex::new(VecDeque::with_capacity(DEFAULT_CAPACITY)),
+            capacity: DEFAULT_CAPACITY,
+            dropped: AtomicU64::new(0),
+            sink: Mutex::new(file),
+        })
+    }
+
+    /// Enqueues one event line. Never blocks on I/O and never fails: a
+    /// full ring (or a poisoned lock) drops the event and bumps the
+    /// counter instead.
+    pub fn push(&self, line: String) {
+        let Ok(mut ring) = self.ring.lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if ring.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        ring.push_back(line);
+    }
+
+    /// Drains the ring to the file. Called off the request path — after
+    /// the response is written, or at shutdown. I/O errors drop the
+    /// drained batch into the counter rather than propagating.
+    pub fn flush(&self) {
+        let drained: Vec<String> = {
+            let Ok(mut ring) = self.ring.lock() else {
+                return;
+            };
+            ring.drain(..).collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let Ok(mut sink) = self.sink.lock() else {
+            self.dropped
+                .fetch_add(drained.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        let mut batch = String::with_capacity(drained.iter().map(|l| l.len() + 1).sum());
+        for line in &drained {
+            batch.push_str(line);
+            batch.push('\n');
+        }
+        if sink
+            .write_all(batch.as_bytes())
+            .and_then(|()| sink.flush())
+            .is_err()
+        {
+            self.dropped
+                .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Events lost to a full ring or failed writes since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pv-obs-log-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn push_flush_writes_jsonl_lines_in_order() {
+        let path = temp_path("order");
+        let log = TraceLog::create(&path).expect("create trace log");
+        log.push(r#"{"trace": "a"}"#.to_string());
+        log.push(r#"{"trace": "b"}"#.to_string());
+        log.flush();
+        log.push(r#"{"trace": "c"}"#.to_string());
+        log.flush();
+        let text = std::fs::read_to_string(&path).expect("read log");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            pv_json::parse(line).expect("every line is a JSON document");
+        }
+        assert!(lines[0].contains("\"a\"") && lines[2].contains("\"c\""));
+        assert_eq!(log.dropped(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts_instead_of_blocking() {
+        let path = temp_path("full");
+        let log = TraceLog::create(&path).expect("create trace log");
+        for i in 0..DEFAULT_CAPACITY + 10 {
+            log.push(format!("{{\"i\": {i}}}"));
+        }
+        assert_eq!(log.dropped(), 10);
+        log.flush();
+        let text = std::fs::read_to_string(&path).expect("read log");
+        assert_eq!(text.lines().count(), DEFAULT_CAPACITY);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,69 @@
+//! The merge-exactness property the sharded router relies on: a
+//! histogram merged from arbitrary per-shard partitions of a sample
+//! stream is indistinguishable from one that observed the pooled
+//! stream, and its quantiles agree with the exact nearest-rank sample
+//! quantiles to within one bucket (≤ 25% relative error).
+
+use proptest::prelude::*;
+use pv_obs::Histogram;
+
+/// Exact nearest-rank quantile over raw samples — the same rule as
+/// `pv_server::percentile_us`, restated locally so this crate's tests
+/// do not depend on the server.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged-histogram quantiles land in exactly the bucket holding the
+    /// pooled-sample nearest-rank quantile, for every partition of the
+    /// stream into up to four shards.
+    #[test]
+    fn merged_quantiles_match_pooled_samples(
+        samples in proptest::collection::vec((0u64..20_000_000u64, 0usize..4usize), 1..300)
+    ) {
+        let mut shards = vec![Histogram::new(); 4];
+        let mut pooled = Histogram::new();
+        let mut values: Vec<u64> = Vec::with_capacity(samples.len());
+        for &(value, shard) in &samples {
+            shards[shard].record(value);
+            pooled.record(value);
+            values.push(value);
+        }
+        let mut merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        // Merging per-shard histograms reproduces the pooled histogram
+        // bit for bit — the property that makes the router merge exact.
+        prop_assert_eq!(&merged, &pooled);
+
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let from_hist = merged.quantile(q);
+            // Same bucket as the exact sample quantile...
+            prop_assert_eq!(
+                from_hist,
+                Histogram::bucket_lower(Histogram::bucket_index(exact))
+            );
+            // ...which bounds the relative error by one bucket width.
+            prop_assert!(from_hist <= exact);
+            if exact >= 4 {
+                prop_assert!(
+                    (exact - from_hist) as f64 <= 0.25 * from_hist as f64 + 1.0,
+                    "q={} exact={} hist={}", q, exact, from_hist
+                );
+            }
+        }
+
+        // Counts and sums merge exactly too (the `_sum`/`_count` series
+        // of the exposition format).
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.sum(), values.iter().sum::<u64>());
+    }
+}

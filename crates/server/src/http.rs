@@ -32,6 +32,12 @@ pub struct HttpRequest {
     pub target: String,
     /// The request body, `Content-Length` bytes.
     pub body: Vec<u8>,
+    /// Trace id from the internal `x-pv-trace` header, when the peer
+    /// (the router, forwarding to its shards) supplied one. Hop-by-hop
+    /// observability plumbing only: responses are written from a fixed
+    /// header block and never echo request headers, so this can never
+    /// reach a client byte.
+    pub trace: Option<u64>,
 }
 
 /// Why a request could not be read.
@@ -102,6 +108,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, RequestEr
     }
 
     let mut content_length = 0usize;
+    let mut trace = None;
     for _ in 0..MAX_HEADERS {
         let line = read_line_bounded(reader)?;
         if line.is_empty() {
@@ -111,6 +118,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, RequestEr
                 method,
                 target,
                 body,
+                trace,
             });
         }
         let Some((name, value)) = line.split_once(':') else {
@@ -124,6 +132,10 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, RequestEr
             if content_length > MAX_BODY_BYTES {
                 return Err(RequestError::TooLarge);
             }
+        } else if name.trim().eq_ignore_ascii_case(pv_obs::TRACE_HEADER) {
+            // Unparseable trace ids are ignored, not rejected: a broken
+            // observability header must never fail a request.
+            trace = pv_obs::parse_trace_id(value);
         }
     }
     Err(RequestError::TooLarge)
@@ -180,14 +192,48 @@ pub fn send_request(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, String)> {
+    send_request_impl(addr, method, path, body, None)
+}
+
+/// [`send_request`] with the internal `x-pv-trace` header attached —
+/// how the router hands a request's trace id to the owning shard. Only
+/// the router uses this; external clients never see or send the header.
+///
+/// # Errors
+///
+/// Same as [`send_request`].
+pub fn send_request_traced(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    trace: u64,
+) -> std::io::Result<(u16, String)> {
+    send_request_impl(addr, method, path, body, Some(trace))
+}
+
+fn send_request_impl(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    trace: Option<u64>,
+) -> std::io::Result<(u16, String)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     stream.set_nodelay(true)?;
     let mut writer = &stream;
+    let trace_header = trace.map_or(String::new(), |id| {
+        format!(
+            "{}: {}\r\n",
+            pv_obs::TRACE_HEADER,
+            pv_obs::format_trace_id(id)
+        )
+    });
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: pv\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: pv\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
         body.len()
     )?;
     writer.write_all(body)?;
@@ -251,6 +297,18 @@ mod tests {
         let req = read_request(&mut Cursor::new(raw)).unwrap();
         assert_eq!(req.method, "GET");
         assert!(req.body.is_empty());
+        assert_eq!(req.trace, None);
+    }
+
+    #[test]
+    fn parses_the_internal_trace_header_and_ignores_garbage_in_it() {
+        let raw = "POST /v1/place HTTP/1.1\r\nx-pv-trace: 00000000deadbeef\r\nContent-Length: 2\r\n\r\n{}";
+        let req = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(req.trace, Some(0xdead_beef));
+
+        let raw = "POST /v1/place HTTP/1.1\r\nX-PV-Trace: not-hex\r\nContent-Length: 0\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(req.trace, None, "garbage trace ids degrade to None");
     }
 
     #[test]

@@ -21,7 +21,20 @@
 //! |-------|--------|------|----------|
 //! | `/v1/place` | POST | spec string or JSON request | placement + energy report (JSON) |
 //! | `/v1/healthz` | GET | — | `{"status": "ok"}` |
-//! | `/v1/stats` | GET | — | cache hits/misses, snapshot-store counters, queue depth, latency percentiles |
+//! | `/v1/stats` | GET | — | cache hits/misses, snapshot-store counters, queue depth, histogram quantiles, sparse histogram encodings |
+//! | `/v1/metrics` | GET | — | Prometheus exposition text: counters, rates, latency + per-stage histograms |
+//!
+//! # Observability
+//!
+//! Instrumentation lives in [`pv_obs`] and stays strictly outside the
+//! determinism boundary: per-request trace spans (propagated router →
+//! shard via the internal hop-by-hop `x-pv-trace` header, which responses
+//! never echo), a lossy ring-buffered JSONL trace log flushed off the
+//! request path ([`Handler::after_response`]), and fixed-bucket latency
+//! histograms that merge **exactly** across shards — the router's
+//! `/v1/stats` and `/v1/metrics` report fleet quantiles from the merged
+//! histogram, not an average of per-shard quantiles. None of it can
+//! change a `/v1/place` byte (pinned end-to-end in `tests/server.rs`).
 //!
 //! # Determinism contract
 //!
@@ -69,6 +82,6 @@ pub mod stats;
 
 pub use ring::HashRing;
 pub use router::{place_shard_key, Router, RouterConfig};
-pub use server::{Handler, Server};
+pub use server::{Handler, RequestContext, Server};
 pub use service::{PlaceRequest, PlacementService, ServiceConfig};
 pub use stats::{percentile_us, ServiceStats, StatsSnapshot};

@@ -26,10 +26,19 @@
 //!   re-send once, and only then give up with a structured `503`.
 //! * **Stats.** `GET /v1/stats` fans out to every live shard and merges:
 //!   counters are summed, `queue_depth` is the maximum (including the
-//!   router's own backlog), latency quantiles are `place_ok`-weighted
-//!   averages (an approximation — quantiles do not compose exactly), and
-//!   router-level fields (`shards`, `shards_up`, `shard_restarts`,
-//!   `shard_pids`, `store_hit_rate`) are appended.
+//!   router's own backlog), latency quantiles come from *bucket-wise
+//!   summing* each shard's sparse [`pv_obs::Histogram`] encoding — an
+//!   exact merge, since fixed-bucket histograms compose where raw
+//!   quantiles do not — and router-level fields (`shards`, `shards_up`,
+//!   `shard_restarts`, `shard_pids`, `store_hit_rate`) are appended.
+//!   `GET /v1/metrics` renders the same merged fleet view as Prometheus
+//!   exposition text.
+//! * **Tracing.** Every proxied `/v1/place` carries a trace id — the one
+//!   a caller forwarded in the internal `x-pv-trace` header, or one the
+//!   router derives from the body — so a router-side trace event and the
+//!   shard-side span breakdown of the same request share an id. The
+//!   header is hop-by-hop: responses never echo it, so `/v1/place` bytes
+//!   are untouched.
 //!
 //! **Determinism argument.** A `/v1/place` response body is a pure
 //! function of the request on any single server (no timing, no cache
@@ -41,16 +50,21 @@
 //!
 //! [`canonical_hash`]: pv_gis::ScenarioSpec::canonical_hash
 
-use crate::http::send_request;
+use crate::http::{send_request, send_request_traced};
 use crate::ring::HashRing;
-use crate::server::Handler;
+use crate::server::{Handler, RequestContext};
 use crate::service::{error_body, PlaceRequest};
 use pv_gis::synth::fnv1a;
 use pv_json::{JsonValue, ObjectBuilder};
+use pv_obs::{
+    derive_trace_id, event_line, Exposition, Histogram, Stage, StageHistograms, StageTimes, Timer,
+    TraceLog,
+};
 use pv_runtime::{ChildSpec, Supervisor};
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Supervisor poll interval for dead-worker detection.
@@ -93,6 +107,11 @@ pub struct RouterConfig {
     pub max_connections_per_shard: usize,
     /// Health-probe attempts (× 50 ms) to wait for each worker at start.
     pub startup_attempts: u32,
+    /// When set, each worker is spawned with
+    /// `--trace-log <base>.shard<k>` so the fleet's structured event
+    /// logs line up with the router's (shared trace ids, one file per
+    /// process). `None` leaves worker tracing off.
+    pub trace_log_base: Option<PathBuf>,
 }
 
 impl RouterConfig {
@@ -111,6 +130,7 @@ impl RouterConfig {
             store_root: store_root.into(),
             max_connections_per_shard: 32,
             startup_attempts: 600,
+            trace_log_base: None,
         }
     }
 }
@@ -175,6 +195,12 @@ pub struct Router {
     ring: HashRing,
     shards: Vec<ShardSlot>,
     supervisor: Supervisor,
+    /// Router-side structured event log (`--trace-log`); `None` when
+    /// tracing is off. Lossy by design — see [`TraceLog`].
+    trace_log: Option<Arc<TraceLog>>,
+    /// Sequence for deriving trace ids of requests that arrived without
+    /// an `x-pv-trace` header (i.e. every external request).
+    trace_seq: AtomicU64,
 }
 
 impl Router {
@@ -210,6 +236,12 @@ impl Router {
                 store_dir.to_string_lossy().into_owned(),
                 "--watch-stdin".to_string(),
             ]);
+            if let Some(base) = &config.trace_log_base {
+                args.extend([
+                    "--trace-log".to_string(),
+                    format!("{}.shard{index}", base.display()),
+                ]);
+            }
             specs.push(ChildSpec::new(&config.worker_program, args));
             shards.push(ShardSlot {
                 port_file,
@@ -228,6 +260,8 @@ impl Router {
             ring: HashRing::new(shard_count),
             shards,
             supervisor,
+            trace_log: None,
+            trace_seq: AtomicU64::new(0),
         };
         for (index, slot) in router.shards.iter().enumerate() {
             if !router.wait_healthy(slot, config.startup_attempts) {
@@ -243,6 +277,14 @@ impl Router {
     #[must_use]
     pub fn ring(&self) -> &HashRing {
         &self.ring
+    }
+
+    /// Attaches a structured trace-event log; every routed request then
+    /// appends one JSONL event, flushed off the request path.
+    #[must_use]
+    pub fn with_trace_log(mut self, log: Arc<TraceLog>) -> Self {
+        self.trace_log = Some(log);
+        self
     }
 
     /// OS process id of shard `index`'s current worker, if alive.
@@ -292,7 +334,9 @@ impl Router {
         Ok(addr)
     }
 
-    /// One proxied exchange with a shard over a fresh connection.
+    /// One proxied exchange with a shard over a fresh connection. A
+    /// trace id, when present, rides along in the internal `x-pv-trace`
+    /// header so router- and shard-side events of one request share it.
     ///
     /// On a transport failure the cached address may be stale (a
     /// respawned worker binds a fresh ephemeral port and rewrites its
@@ -304,13 +348,18 @@ impl Router {
         method: &str,
         path: &str,
         body: &[u8],
+        trace: Option<u64>,
     ) -> std::io::Result<(u16, String)> {
+        let send = |addr| match trace {
+            Some(id) => send_request_traced(addr, method, path, body, id),
+            None => send_request(addr, method, path, body),
+        };
         let addr = self.shard_addr(slot)?;
-        match send_request(addr, method, path, body) {
+        match send(addr) {
             Ok(response) => Ok(response),
             Err(_) => {
                 let addr = self.refresh_addr(slot)?;
-                send_request(addr, method, path, body)
+                send(addr)
             }
         }
     }
@@ -334,20 +383,65 @@ impl Router {
     /// the supervisor's respawn to pass a health probe, re-sends exactly
     /// once, and otherwise answers a structured `503`. Requests are pure
     /// functions of their bodies, so the retry cannot change bytes.
-    fn proxy(&self, shard: usize, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    fn proxy(
+        &self,
+        shard: usize,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        trace: u64,
+    ) -> (u16, String) {
         let Some(slot) = self.shards.get(shard) else {
             return (500, error_body("internal: ring produced an unknown shard"));
         };
         let _permit = slot.gate.acquire();
-        if let Ok(answer) = self.forward(slot, method, path, body) {
+        if let Ok(answer) = self.forward(slot, method, path, body, Some(trace)) {
             return answer;
         }
         if self.wait_healthy(slot, RETRY_ATTEMPTS) {
-            if let Ok(answer) = self.forward(slot, method, path, body) {
+            if let Ok(answer) = self.forward(slot, method, path, body, Some(trace)) {
                 return answer;
             }
         }
         (503, error_body(&format!("shard {shard} is unavailable")))
+    }
+
+    /// Fans `GET /v1/stats` out to every shard and decodes what answered:
+    /// the raw stats documents plus the bucket-wise merge of every
+    /// shard's latency and stage histograms. Merging fixed-bucket
+    /// histograms is *exact* (addition commutes with bucketing), which is
+    /// what lets the router report honest fleet quantiles — the previous
+    /// `place_ok`-weighted average of per-shard quantiles was simply
+    /// wrong for any skewed shard mix.
+    fn fleet_snapshot(&self) -> FleetSnapshot {
+        let docs: Vec<JsonValue> = self
+            .shards
+            .iter()
+            .filter_map(
+                |slot| match self.forward(slot, "GET", "/v1/stats", b"", None) {
+                    Ok((200, body)) => pv_json::parse(&body).ok(),
+                    _ => None,
+                },
+            )
+            .collect();
+        let mut latency = Histogram::new();
+        let mut stages = StageHistograms::new();
+        for doc in &docs {
+            if let Some(shard) = doc.get("latency_hist").and_then(Histogram::from_sparse) {
+                latency.merge(&shard);
+            }
+            if let Some(shard) = doc
+                .get("stage_hists")
+                .and_then(StageHistograms::from_sparse)
+            {
+                stages.merge(&shard);
+            }
+        }
+        FleetSnapshot {
+            docs,
+            latency,
+            stages,
+        }
     }
 
     /// Fans `GET /v1/stats` out to every shard and merges the answers.
@@ -368,15 +462,10 @@ impl Router {
             "store_skipped",
             "store_writes",
             "store_write_errors",
+            "trace_dropped",
         ];
-        let docs: Vec<JsonValue> = self
-            .shards
-            .iter()
-            .filter_map(|slot| match self.forward(slot, "GET", "/v1/stats", b"") {
-                Ok((200, body)) => pv_json::parse(&body).ok(),
-                _ => None,
-            })
-            .collect();
+        let fleet = self.fleet_snapshot();
+        let docs = &fleet.docs;
         let number = |doc: &JsonValue, key: &str| -> f64 {
             doc.get(key).and_then(JsonValue::as_number).unwrap_or(0.0)
         };
@@ -387,15 +476,6 @@ impl Router {
             merged = merged.field(key, sum(key));
         }
         let lookups = sum("cache_hits") + sum("cache_misses");
-        let weight = sum("place_ok").max(1.0);
-        // Quantiles do not compose exactly; the place_ok-weighted average
-        // is the documented approximation (DESIGN.md, "Sharded serving").
-        let weighted = |key: &str| -> f64 {
-            docs.iter()
-                .map(|doc| number(doc, "place_ok") * number(doc, key))
-                .sum::<f64>()
-                / weight
-        };
         let max_queue = docs
             .iter()
             .map(|doc| number(doc, "queue_depth"))
@@ -414,41 +494,209 @@ impl Router {
                 pv_json::rounded(sum("store_hits") / lookups.max(1.0), 4),
             )
             .field("queue_depth", max_queue)
-            .field("p50_ms", pv_json::rounded(weighted("p50_ms"), 3))
-            .field("p99_ms", pv_json::rounded(weighted("p99_ms"), 3))
+            // Quantiles of the *merged* histogram — identical to what one
+            // big server would report over the pooled request stream (to
+            // bucket resolution), not an average of per-shard quantiles.
+            .field(
+                "p50_ms",
+                pv_json::rounded(fleet.latency.quantile(0.50) as f64 / 1e3, 3),
+            )
+            .field(
+                "p99_ms",
+                pv_json::rounded(fleet.latency.quantile(0.99) as f64 / 1e3, 3),
+            )
             .field("shards", self.shards.len())
             .field("shards_up", docs.len())
             .field("shard_restarts", self.supervisor.restarts() as f64)
             .field("shard_pids", pids)
+            .field("latency_hist", fleet.latency.to_sparse())
+            .field("stage_hists", fleet.stages.to_sparse())
             .build()
             .to_json_string()
     }
+
+    /// Renders the fleet-wide Prometheus-text `/v1/metrics` body: summed
+    /// counters, exactly merged latency/stage histograms, and fleet
+    /// health gauges no single shard can report (`pv_shards`,
+    /// `pv_shards_up`, `pv_shard_restarts`).
+    fn metrics_text(&self, queue_depth: usize) -> String {
+        let fleet = self.fleet_snapshot();
+        let number = |doc: &JsonValue, key: &str| -> f64 {
+            doc.get(key).and_then(JsonValue::as_number).unwrap_or(0.0)
+        };
+        let sum = |key: &str| -> u64 {
+            fleet
+                .docs
+                .iter()
+                .map(|doc| number(doc, key))
+                .sum::<f64>()
+                .max(0.0) as u64
+        };
+        let lookups = sum("cache_hits") + sum("cache_misses");
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            sum("cache_hits") as f64 / lookups as f64
+        };
+        let max_queue = fleet
+            .docs
+            .iter()
+            .map(|doc| number(doc, "queue_depth"))
+            .fold(queue_depth as f64, f64::max);
+        let dropped = sum("trace_dropped") + self.trace_log.as_ref().map_or(0, |log| log.dropped());
+
+        let mut doc = Exposition::new();
+        doc.counter(
+            "pv_requests_total",
+            "Requests routed, any endpoint.",
+            sum("requests"),
+        );
+        doc.counter(
+            "pv_place_ok_total",
+            "Successful /v1/place solves.",
+            sum("place_ok"),
+        );
+        doc.counter(
+            "pv_errors_total",
+            "Requests answered with a 4xx/5xx.",
+            sum("errors"),
+        );
+        doc.counter(
+            "pv_cache_hits_total",
+            "Warm site-cache hits.",
+            sum("cache_hits"),
+        );
+        doc.counter(
+            "pv_cache_misses_total",
+            "Cold site extractions.",
+            sum("cache_misses"),
+        );
+        doc.counter(
+            "pv_store_hits_total",
+            "Cache hits on store-hydrated entries.",
+            sum("store_hits"),
+        );
+        doc.counter(
+            "pv_trace_dropped_total",
+            "Trace events lost to a full ring or failed writes.",
+            dropped,
+        );
+        doc.gauge("pv_cache_hit_rate", "Cache hits over lookups.", hit_rate);
+        doc.gauge(
+            "pv_cache_entries",
+            "Sites in the warm caches.",
+            sum("cache_entries") as f64,
+        );
+        doc.gauge(
+            "pv_queue_depth",
+            "Accepted connections awaiting a worker.",
+            max_queue,
+        );
+        doc.gauge(
+            "pv_shards",
+            "Workers in the fleet.",
+            self.shards.len() as f64,
+        );
+        doc.gauge(
+            "pv_shards_up",
+            "Workers that answered the stats fan-out.",
+            fleet.docs.len() as f64,
+        );
+        doc.gauge(
+            "pv_shard_restarts",
+            "Worker respawns since the router started.",
+            self.supervisor.restarts() as f64,
+        );
+        doc.histogram(
+            "pv_place_latency_us",
+            "End-to-end /v1/place latency, microseconds.",
+            None,
+            &fleet.latency,
+        );
+        for stage in Stage::ALL {
+            let hist = fleet.stages.get(stage);
+            if !hist.is_empty() {
+                doc.histogram(
+                    "pv_stage_us",
+                    "Per-stage span duration, microseconds.",
+                    Some(("stage", stage.name())),
+                    hist,
+                );
+            }
+        }
+        doc.finish()
+    }
+}
+
+/// One fan-out over the fleet: the per-shard stats documents that
+/// answered, plus the exact bucket-wise merge of their histograms.
+struct FleetSnapshot {
+    docs: Vec<JsonValue>,
+    latency: Histogram,
+    stages: StageHistograms,
 }
 
 impl Handler for Router {
-    fn handle(&self, method: &str, target: &str, body: &[u8], queue_depth: usize) -> (u16, String) {
+    fn handle(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        ctx: &RequestContext,
+    ) -> (u16, String) {
+        let timer = Timer::start();
+        // The router is the fleet's entry point, so ctx.trace is normally
+        // empty here and the id is derived; a forwarded id still wins so
+        // layered routers chain.
+        let trace = ctx.trace.unwrap_or_else(|| {
+            derive_trace_id(body, self.trace_seq.fetch_add(1, Ordering::Relaxed))
+        });
         let path = target.split('?').next().unwrap_or(target);
-        match (method, path) {
+        let (status, answer) = match (method, path) {
             // Answered locally with the exact bytes a single-process
             // server produces, so health checks and error probes are
             // byte-identical through the proxy.
             ("GET", "/v1/healthz") => (200, r#"{"status": "ok"}"#.to_string()),
-            ("GET", "/v1/stats") => (200, self.merged_stats(queue_depth)),
+            ("GET", "/v1/stats") => (200, self.merged_stats(ctx.queue_depth)),
+            ("GET", "/v1/metrics") => (200, self.metrics_text(ctx.queue_depth)),
             ("POST", "/v1/place") => {
                 let shard = self.ring.shard_for(place_shard_key(body));
-                self.proxy(shard, "POST", "/v1/place", body)
+                self.proxy(shard, "POST", "/v1/place", body, trace)
             }
-            (_, "/v1/healthz" | "/v1/stats" | "/v1/place") => (
+            (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/place") => (
                 405,
                 error_body(&format!("method {method} not allowed here")),
             ),
             _ => (404, error_body(&format!("no such route '{path}'"))),
+        };
+        if let Some(log) = &self.trace_log {
+            // Router events carry no stage spans (stages are measured on
+            // the shard that solved); the shared trace id is the join key.
+            log.push(event_line(
+                trace,
+                path,
+                status,
+                timer.elapsed_us(),
+                &StageTimes::default(),
+            ));
+        }
+        (status, answer)
+    }
+
+    /// Flush the trace ring once the response bytes are on the wire.
+    fn after_response(&self) {
+        if let Some(log) = &self.trace_log {
+            log.flush();
         }
     }
 
-    /// Tear the worker fleet down once the router's own pool has drained.
+    /// Tear the worker fleet down once the router's own pool has drained,
+    /// then flush whatever the trace ring still holds.
     fn on_shutdown(&self) {
         self.shutdown_workers();
+        if let Some(log) = &self.trace_log {
+            log.flush();
+        }
     }
 }
 

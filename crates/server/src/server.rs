@@ -29,18 +29,41 @@ const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// error-path conventions instead of two.
 ///
 /// Implementations must be pure functions of the request for `/v1/place`
-/// (the workspace determinism contract); `queue_depth` feeds
+/// (the workspace determinism contract); the [`RequestContext`] feeds
 /// observability only and must never influence response bytes.
 ///
 /// [`PlacementService`]: crate::service::PlacementService
 /// [`Router`]: crate::router::Router
 pub trait Handler: Send + Sync + 'static {
-    /// Answers one request with an HTTP status and a JSON body.
-    fn handle(&self, method: &str, target: &str, body: &[u8], queue_depth: usize) -> (u16, String);
+    /// Answers one request with an HTTP status and a body.
+    fn handle(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        ctx: &RequestContext,
+    ) -> (u16, String);
+
+    /// Runs on the worker thread after the response bytes are on the
+    /// wire — the off-request-path slot where handlers flush their
+    /// trace-log ring. The default does nothing.
+    fn after_response(&self) {}
 
     /// Runs after the worker pool has drained during shutdown (e.g. flush
     /// pending snapshot writes). The default does nothing.
     fn on_shutdown(&self) {}
+}
+
+/// Observability context of one request, carried alongside the parsed
+/// body: never allowed to influence response bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestContext {
+    /// Connections accepted but not yet picked up by a worker at the
+    /// moment this one was; reported as `queue_depth` in `/v1/stats`.
+    pub queue_depth: usize,
+    /// Trace id forwarded by the router in the internal `x-pv-trace`
+    /// header, if any; entry-point handlers derive their own.
+    pub trace: Option<u64>,
 }
 
 /// A running placement server; dropping or [`shutdown`](Self::shutdown)
@@ -185,16 +208,41 @@ fn handle_connection(stream: &TcpStream, handler: &dyn Handler, queue_depth: usi
     let _ = stream.set_nodelay(true);
 
     let mut reader = BufReader::new(stream);
-    let (status, body) = match read_request(&mut reader) {
-        Ok(request) => handler.handle(&request.method, &request.target, &request.body, queue_depth),
-        Err(RequestError::TooLarge) => (413, r#"{"error": "request too large"}"#.to_string()),
-        Err(RequestError::Malformed(e)) => {
-            (400, format!(r#"{{"error": "{}"}}"#, pv_json::escape(&e)))
+    let (status, body, content_type) = match read_request(&mut reader) {
+        Ok(request) => {
+            let ctx = RequestContext {
+                queue_depth,
+                trace: request.trace,
+            };
+            let (status, body) =
+                handler.handle(&request.method, &request.target, &request.body, &ctx);
+            // `/v1/metrics` is the one non-JSON endpoint: Prometheus
+            // exposition text. Everything else keeps the fixed JSON
+            // content type.
+            let content_type = if request.target == "/v1/metrics" && status == 200 {
+                pv_obs::EXPOSITION_CONTENT_TYPE
+            } else {
+                "application/json"
+            };
+            (status, body, content_type)
         }
+        Err(RequestError::TooLarge) => (
+            413,
+            r#"{"error": "request too large"}"#.to_string(),
+            "application/json",
+        ),
+        Err(RequestError::Malformed(e)) => (
+            400,
+            format!(r#"{{"error": "{}"}}"#, pv_json::escape(&e)),
+            "application/json",
+        ),
         Err(RequestError::Io(_)) => return, // peer vanished; nothing to answer
     };
     let mut writer = stream;
-    let _ = write_response(&mut writer, status, "application/json", body.as_bytes());
+    let _ = write_response(&mut writer, status, content_type, body.as_bytes());
+    // Response bytes are on the wire: anything from here on (trace-log
+    // flushing) is off the request path by construction.
+    handler.after_response();
 }
 
 #[cfg(test)]

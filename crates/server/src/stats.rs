@@ -1,14 +1,24 @@
-//! Service counters and latency percentiles for `/v1/stats`.
+//! Service counters and latency histograms for `/v1/stats` and
+//! `/v1/metrics`.
 //!
 //! Everything here is *observability*, deliberately kept out of
 //! `/v1/place` response bodies so the determinism contract (response is a
 //! pure function of the request) survives instrumentation.
+//!
+//! Latency lives in a [`pv_obs::Histogram`] rather than a sample window:
+//! recording is an O(1) bucket increment, a snapshot reads quantiles
+//! without sorting, and per-shard histograms merge *exactly* at the
+//! router. The old bounded `Vec` window had a sawtooth bias — draining
+//! the oldest half in one move right after the window filled meant p99
+//! was computed over anywhere between 2048 and 4096 samples depending on
+//! phase — and its clone-and-sort snapshot was O(n log n) per scrape.
+//! The histogram replaces both. [`percentile_us`] stays for callers with
+//! exact client-side sample sets (the `loadgen` harness).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// How many recent `/v1/place` latencies the percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
+use pv_obs::{Histogram, StageHistograms, StageTimes};
 
 /// Shared, thread-safe service counters.
 #[derive(Debug, Default)]
@@ -19,7 +29,8 @@ pub struct ServiceStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     store_hits: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latency: Mutex<Histogram>,
+    stages: Mutex<StageHistograms>,
 }
 
 /// A point-in-time copy of the counters, plus derived percentiles.
@@ -38,9 +49,10 @@ pub struct StatsSnapshot {
     /// Cache hits landing on an entry hydrated from the snapshot store —
     /// work the store saved from being re-extracted.
     pub store_hits: u64,
-    /// Median `/v1/place` latency over the recent window, ms.
+    /// Median `/v1/place` latency from the histogram, ms (bucket lower
+    /// bound; ≤ 25% relative error).
     pub p50_ms: f64,
-    /// 99th-percentile `/v1/place` latency over the recent window, ms.
+    /// 99th-percentile `/v1/place` latency from the histogram, ms.
     pub p99_ms: f64,
 }
 
@@ -87,26 +99,47 @@ impl ServiceStats {
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
-        // A poisoned window only loses one observability sample; requests
-        // must keep flowing, so skip rather than panic.
-        if let Ok(mut window) = self.latencies_us.lock() {
-            if window.len() >= LATENCY_WINDOW {
-                // Keep the window recent: drop the oldest half in one move.
-                window.drain(..LATENCY_WINDOW / 2);
-            }
-            window.push(latency_us);
+        // A poisoned histogram only loses observability samples;
+        // requests must keep flowing, so skip rather than panic.
+        if let Ok(mut latency) = self.latency.lock() {
+            latency.record(latency_us);
         }
     }
 
-    /// Copies the counters and computes the latency percentiles. A
-    /// poisoned latency window degrades to zeroed percentiles — the
-    /// counters themselves are atomics and always correct.
+    /// Records the per-stage span durations of one request into the
+    /// aggregate stage histograms.
+    pub fn record_stages(&self, times: &StageTimes) {
+        if let Ok(mut stages) = self.stages.lock() {
+            stages.record(times);
+        }
+    }
+
+    /// A copy of the request-latency histogram (for merging, stats
+    /// bodies, and `/v1/metrics` exposition).
+    #[must_use]
+    pub fn latency_histogram(&self) -> Histogram {
+        self.latency
+            .lock()
+            .map_or_else(|_| Histogram::new(), |h| h.clone())
+    }
+
+    /// A copy of the per-stage histograms.
+    #[must_use]
+    pub fn stage_histograms(&self) -> StageHistograms {
+        self.stages
+            .lock()
+            .map_or_else(|_| StageHistograms::new(), |h| h.clone())
+    }
+
+    /// Copies the counters and reads the latency quantiles from the
+    /// histogram. A poisoned histogram degrades to zeroed percentiles —
+    /// the counters themselves are atomics and always correct.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (p50, p99) = self
-            .latencies_us
+        let (p50_us, p99_us) = self
+            .latency
             .lock()
-            .map_or((0.0, 0.0), |window| percentiles(&window));
+            .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             place_ok: self.place_ok.load(Ordering::Relaxed),
@@ -114,15 +147,17 @@ impl ServiceStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
-            p50_ms: p50 / 1e3,
-            p99_ms: p99 / 1e3,
+            p50_ms: p50_us as f64 / 1e3,
+            p99_ms: p99_us as f64 / 1e3,
         }
     }
 }
 
-/// Nearest-rank percentile over an unsorted microsecond sample window
-/// (0 when empty). Shared with the `loadgen` harness so client- and
-/// server-side percentiles are always computed the same way.
+/// Nearest-rank percentile over an unsorted microsecond sample set
+/// (0 when empty). Kept for callers that hold *exact* sample sets —
+/// the `loadgen` harness's client-side latencies — while the service
+/// itself reports from the histogram (same nearest-rank rule, bucket
+/// resolution).
 #[must_use]
 pub fn percentile_us(samples_us: &[u64], q: f64) -> f64 {
     if samples_us.is_empty() {
@@ -136,17 +171,10 @@ pub fn percentile_us(samples_us: &[u64], q: f64) -> f64 {
         .map_or(0.0, |&v| v as f64)
 }
 
-/// Computes `(p50, p99)` in microseconds (see [`percentile_us`]).
-fn percentiles(samples_us: &[u64]) -> (f64, f64) {
-    (
-        percentile_us(samples_us, 0.50),
-        percentile_us(samples_us, 0.99),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pv_obs::Stage;
 
     #[test]
     fn counters_accumulate() {
@@ -171,24 +199,51 @@ mod tests {
     #[test]
     fn percentiles_use_nearest_rank() {
         let samples: Vec<u64> = (1..=100).collect();
-        let (p50, p99) = percentiles(&samples);
-        assert_eq!(p50, 50.0);
-        assert_eq!(p99, 99.0);
-        assert_eq!(percentiles(&[]), (0.0, 0.0));
-        assert_eq!(percentiles(&[7]), (7.0, 7.0));
+        assert_eq!(percentile_us(&samples, 0.50), 50.0);
+        assert_eq!(percentile_us(&samples, 0.99), 99.0);
+        assert_eq!(percentile_us(&[], 0.50), 0.0);
+        assert_eq!(percentile_us(&[7], 0.99), 7.0);
         assert_eq!(percentile_us(&samples, 1.0), 100.0);
     }
 
     #[test]
-    fn latency_window_is_bounded() {
+    fn snapshot_quantiles_come_from_the_histogram() {
         let stats = ServiceStats::new();
-        for i in 0..(LATENCY_WINDOW as u64 + 100) {
-            stats.record_place(false, i);
+        // A stream long enough that the old drain-half window would have
+        // forgotten its early samples; the histogram keeps them all, so
+        // the quantiles are over the complete history — no sawtooth.
+        for i in 0..10_000u64 {
+            stats.record_place(false, 1_000 + i);
         }
-        let window = stats.latencies_us.lock().unwrap();
-        assert!(window.len() <= LATENCY_WINDOW);
-        // The newest sample is still present after the drain.
-        assert_eq!(*window.last().unwrap(), LATENCY_WINDOW as u64 + 99);
+        let snap = stats.snapshot();
+        let hist = stats.latency_histogram();
+        assert_eq!(hist.count(), 10_000);
+        assert_eq!(snap.p50_ms, hist.quantile(0.50) as f64 / 1e3);
+        assert_eq!(snap.p99_ms, hist.quantile(0.99) as f64 / 1e3);
+        // Within one bucket (≤ 25%) of the exact nearest-rank values.
+        assert!(
+            (snap.p50_ms - 6.0).abs() / 6.0 < 0.25,
+            "p50 {}",
+            snap.p50_ms
+        );
+        assert!(
+            (snap.p99_ms - 10.9).abs() / 10.9 < 0.25,
+            "p99 {}",
+            snap.p99_ms
+        );
+    }
+
+    #[test]
+    fn stage_recordings_land_in_their_histograms() {
+        let stats = ServiceStats::new();
+        let mut times = StageTimes::default();
+        times.add(Stage::CacheLookup, 5);
+        times.add(Stage::Solve, 800);
+        stats.record_stages(&times);
+        let stages = stats.stage_histograms();
+        assert_eq!(stages.get(Stage::Solve).count(), 1);
+        assert_eq!(stages.get(Stage::CacheLookup).count(), 1);
+        assert_eq!(stages.get(Stage::Extract).count(), 0);
     }
 
     #[test]

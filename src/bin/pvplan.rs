@@ -70,10 +70,12 @@ USAGE:
          [--threads N] [--full] [--out PATH]
   pvplan serve [--port P] [--threads N] [--cache-mb MB]
          [--days D] [--step MIN] [--profile standard|smoke|tiny]
-         [--store-dir PATH] [--port-file PATH] [--watch-stdin]
+         [--store-dir PATH] [--port-file PATH] [--trace-log PATH]
+         [--watch-stdin]
   pvplan route --shards N [--port P] [--threads N] [--cache-mb MB]
          [--days D] [--step MIN] [--profile standard|smoke|tiny]
-         [--store-dir PATH] [--port-file PATH] [--watch-stdin]
+         [--store-dir PATH] [--port-file PATH] [--trace-log PATH]
+         [--watch-stdin]
   pvplan extract --store-dir PATH [--sites N] [--seed S]
          [--days D] [--step MIN]
 
@@ -82,24 +84,30 @@ runtime (greedy + anneal + exact-where-feasible per site) and writes
 BENCH_portfolio.json.
 
 The `serve` subcommand starts the HTTP placement service on 127.0.0.1
-(POST /v1/place, GET /v1/healthz, GET /v1/stats). --cache-mb bounds the
-warm per-site cache; place responses are bit-identical for every
---threads setting. --profile picks the base serving configuration
-(clock, horizon, cache) that --days/--step/--cache-mb then override.
---store-dir PATH hydrates the cache from a snapshot store on start and
-persists cold extractions behind responses; corrupt snapshots are
-quarantined and the site re-extracted. --port-file PATH writes the bound
-address (useful with --port 0); --watch-stdin drains and exits cleanly
-on stdin EOF, so a supervising process tears the server down by closing
-a pipe.
+(POST /v1/place, GET /v1/healthz, GET /v1/stats, GET /v1/metrics — the
+last in Prometheus exposition text). --cache-mb bounds the warm per-site
+cache; place responses are bit-identical for every --threads setting.
+--profile picks the base serving configuration (clock, horizon, cache)
+that --days/--step/--cache-mb then override. --store-dir PATH hydrates
+the cache from a snapshot store on start and persists cold extractions
+behind responses; corrupt snapshots are quarantined and the site
+re-extracted. --trace-log PATH appends one JSONL event per request
+(trace id, status, per-stage span timings), written off the request
+path through a lossy bounded ring — observability never blocks or
+changes a response byte. --port-file PATH writes the bound address
+(useful with --port 0); --watch-stdin drains and exits cleanly on stdin
+EOF, so a supervising process tears the server down by closing a pipe.
 
 The `route` subcommand starts a shard router on the same endpoints: it
 spawns and supervises --shards worker processes (each a `pvplan serve`
 with its own snapshot-store partition under --store-dir), consistent-
 hashes each /v1/place body onto one worker, retries once behind a health
-probe when a shard is down, and merges /v1/stats across the fleet. A
-crashed worker is respawned and rehydrates its partition; response
-bodies are byte-identical at any shard count.
+probe when a shard is down, and merges /v1/stats and /v1/metrics across
+the fleet (histograms merge bucket-wise, so fleet quantiles are exact).
+With --trace-log PATH the router logs to PATH and each worker to
+PATH.shardK, sharing per-request trace ids. A crashed worker is
+respawned and rehydrates its partition; response bodies are
+byte-identical at any shard count.
 
 The `extract` subcommand pre-warms a snapshot store: the first --sites
 corpus scenarios (corpus seed --seed) are solved at the serving clock
@@ -308,6 +316,7 @@ struct ServeArgs {
     step: Option<u32>,
     store_dir: Option<String>,
     port_file: Option<String>,
+    trace_log: Option<String>,
     watch_stdin: bool,
     help: bool,
 }
@@ -353,6 +362,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
         step: None,
         store_dir: None,
         port_file: None,
+        trace_log: None,
         watch_stdin: false,
         help: false,
     };
@@ -380,6 +390,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                 base_config(name)?; // validate early, fail with the flag name
                 parsed.profile = name.clone();
             }
+            "--trace-log" => parsed.trace_log = Some(value("--trace-log")?.clone()),
             "--cache-mb" => {
                 let spec = value("--cache-mb")?;
                 // The upper bound keeps `cache_mb << 20` from silently
@@ -469,6 +480,11 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("opening snapshot store '{dir}': {e}"))?;
         service = service.with_store(Arc::new(store));
     }
+    if let Some(path) = &parsed.trace_log {
+        let log = pvfloorplan::obs::TraceLog::create(std::path::Path::new(path))
+            .map_err(|e| format!("creating trace log '{path}': {e}"))?;
+        service = service.with_trace_log(Arc::new(log));
+    }
     let service = Arc::new(service);
     if let Some(dir) = &parsed.store_dir {
         let seeded = service
@@ -492,7 +508,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         days,
         step
     );
-    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats");
+    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats   GET /v1/metrics");
     if parsed.watch_stdin {
         wait_for_stdin_eof();
         server.shutdown(); // drain in-flight requests + snapshot writes
@@ -526,6 +542,7 @@ struct RouteArgs {
     step: Option<u32>,
     store_dir: String,
     port_file: Option<String>,
+    trace_log: Option<String>,
     watch_stdin: bool,
     help: bool,
 }
@@ -543,6 +560,7 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
         step: None,
         store_dir: "target/router_store".to_string(),
         port_file: None,
+        trace_log: None,
         watch_stdin: false,
         help: false,
     };
@@ -598,6 +616,7 @@ fn parse_route_args(args: &[String]) -> Result<RouteArgs, String> {
             }
             "--store-dir" => parsed.store_dir = value("--store-dir")?.clone(),
             "--port-file" => parsed.port_file = Some(value("--port-file")?.clone()),
+            "--trace-log" => parsed.trace_log = Some(value("--trace-log")?.clone()),
             "--watch-stdin" => parsed.watch_stdin = true,
             "--help" | "-h" => parsed.help = true,
             other => return Err(format!("unknown route flag '{other}' (try --help)")),
@@ -640,8 +659,17 @@ fn run_route(args: &[String]) -> Result<(), String> {
     }
     let mut config = pvfloorplan::server::RouterConfig::new(parsed.shards, exe, &parsed.store_dir);
     config.worker_args = worker_args;
+    if let Some(path) = &parsed.trace_log {
+        config.trace_log_base = Some(path.into());
+    }
 
-    let router = Arc::new(pvfloorplan::server::Router::start(config)?);
+    let mut router = pvfloorplan::server::Router::start(config)?;
+    if let Some(path) = &parsed.trace_log {
+        let log = pvfloorplan::obs::TraceLog::create(std::path::Path::new(path))
+            .map_err(|e| format!("creating trace log '{path}': {e}"))?;
+        router = router.with_trace_log(Arc::new(log));
+    }
+    let router = Arc::new(router);
     // The proxy jobs are I/O-bound (blocked on a shard), so the transport
     // pool must cover the fleet's total solve concurrency to saturate it.
     let per_worker = parsed
@@ -663,7 +691,7 @@ fn run_route(args: &[String]) -> Result<(), String> {
         parsed.profile,
         parsed.store_dir
     );
-    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats");
+    println!("endpoints: POST /v1/place   GET /v1/healthz   GET /v1/stats   GET /v1/metrics");
     if parsed.watch_stdin {
         wait_for_stdin_eof();
         server.shutdown(); // drains, then tears the worker fleet down
@@ -925,6 +953,7 @@ mod tests {
         "--profile",
         "--store-dir",
         "--port-file",
+        "--trace-log",
         "--watch-stdin",
     ];
     const ROUTE_FLAGS: &[&str] = &[
@@ -937,6 +966,7 @@ mod tests {
         "--profile",
         "--store-dir",
         "--port-file",
+        "--trace-log",
         "--watch-stdin",
     ];
     const EXTRACT_FLAGS: &[&str] = &["--store-dir", "--sites", "--seed", "--days", "--step"];
@@ -1033,6 +1063,8 @@ mod tests {
             "target/snapshots",
             "--port-file",
             "target/server.port",
+            "--trace-log",
+            "target/server.trace",
             "--watch-stdin",
         ]))
         .unwrap();
@@ -1043,6 +1075,7 @@ mod tests {
         assert_eq!(parsed.profile, "smoke");
         assert_eq!(parsed.store_dir.as_deref(), Some("target/snapshots"));
         assert_eq!(parsed.port_file.as_deref(), Some("target/server.port"));
+        assert_eq!(parsed.trace_log.as_deref(), Some("target/server.trace"));
         assert!(parsed.watch_stdin);
     }
 
@@ -1051,6 +1084,7 @@ mod tests {
         let parsed = parse_serve_args(&[]).unwrap();
         assert_eq!(parsed.store_dir, None);
         assert_eq!(parsed.port_file, None);
+        assert_eq!(parsed.trace_log, None);
         assert!(!parsed.watch_stdin);
         assert_eq!(parsed.profile, "standard");
         // Absent clock/cache flags defer to the profile's defaults.
@@ -1097,6 +1131,8 @@ mod tests {
             "target/router",
             "--port-file",
             "target/router.port",
+            "--trace-log",
+            "target/router.trace",
             "--watch-stdin",
         ]))
         .unwrap();
@@ -1108,6 +1144,7 @@ mod tests {
         assert_eq!(parsed.profile, "tiny");
         assert_eq!(parsed.store_dir, "target/router");
         assert_eq!(parsed.port_file.as_deref(), Some("target/router.port"));
+        assert_eq!(parsed.trace_log.as_deref(), Some("target/router.trace"));
         assert!(parsed.watch_stdin);
     }
 

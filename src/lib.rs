@@ -87,6 +87,12 @@ pub mod json {
     pub use pv_json::*;
 }
 
+/// Observability: trace spans, mergeable histograms, exposition
+/// ([`pv_obs`]).
+pub mod obs {
+    pub use pv_obs::*;
+}
+
 /// Placement-as-a-service subsystem ([`pv_server`]).
 pub mod server {
     pub use pv_server::*;

@@ -344,30 +344,39 @@ struct RouterProc {
 }
 
 impl RouterProc {
-    /// Spawns `pvplan route --shards N` rooted at `store_root` and waits
-    /// until the router has bound, health-checked every worker, and
-    /// written its port file.
-    fn start(shards: usize, store_root: &std::path::Path) -> Self {
+    /// Spawns `pvplan route --shards N` rooted at `store_root` (with a
+    /// `--trace-log` when given) and waits until the router has bound,
+    /// health-checked every worker, and written its port file.
+    fn start(
+        shards: usize,
+        store_root: &std::path::Path,
+        trace_log: Option<&std::path::Path>,
+    ) -> Self {
         std::fs::create_dir_all(store_root).expect("create store root");
         let port_file = store_root.join("router.port");
         let _ = std::fs::remove_file(&port_file);
+        let mut args = vec![
+            "route".to_string(),
+            "--shards".to_string(),
+            shards.to_string(),
+            "--profile".to_string(),
+            "tiny".to_string(),
+            "--threads".to_string(),
+            "1".to_string(),
+            "--port".to_string(),
+            "0".to_string(),
+            "--port-file".to_string(),
+            port_file.display().to_string(),
+            "--store-dir".to_string(),
+            store_root.display().to_string(),
+            "--watch-stdin".to_string(),
+        ];
+        if let Some(path) = trace_log {
+            args.push("--trace-log".to_string());
+            args.push(path.display().to_string());
+        }
         let child = Command::new(env!("CARGO_BIN_EXE_pvplan"))
-            .args([
-                "route",
-                "--shards",
-                &shards.to_string(),
-                "--profile",
-                "tiny",
-                "--threads",
-                "1",
-                "--port",
-                "0",
-                "--port-file",
-                &port_file.display().to_string(),
-                "--store-dir",
-                &store_root.display().to_string(),
-                "--watch-stdin",
-            ])
+            .args(&args)
             .stdin(Stdio::piped())
             .stdout(Stdio::null())
             .spawn()
@@ -465,7 +474,7 @@ fn router_shard_count_is_invisible_in_response_bytes() {
             shards
         ));
         let _ = std::fs::remove_dir_all(&root);
-        let router = RouterProc::start(shards, &root);
+        let router = RouterProc::start(shards, &root, None);
 
         // Rotated concurrent clients through the proxy: every arrival
         // order, every placement, every cache state — reference bytes.
@@ -502,12 +511,165 @@ fn router_shard_count_is_invisible_in_response_bytes() {
     }
 }
 
+/// Fires the interleaved mix while a sidecar thread hammers
+/// `/v1/metrics` the whole time — the scrape load is concurrent with the
+/// placements it must not perturb. Returns the per-request response sets.
+fn fire_with_scrapes(
+    addr: SocketAddr,
+    bodies: &[String],
+    clients: usize,
+) -> BTreeMap<usize, Vec<String>> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    std::thread::scope(|scope| {
+        let scraper = scope.spawn(move || {
+            let mut scrapes = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let (status, text) =
+                    send_request(addr, "GET", "/v1/metrics", b"").expect("metrics transport");
+                assert_eq!(status, 200, "{text}");
+                assert!(text.starts_with("# HELP"), "not exposition text: {text}");
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            scrapes
+        });
+        let by_request = fire_interleaved(addr, bodies, clients);
+        stop.store(true, Ordering::Relaxed);
+        assert!(scraper.join().expect("scraper thread") > 0, "never scraped");
+        by_request
+    })
+}
+
+/// Asserts a trace log is JSONL whose every event carries a 16-hex id,
+/// returning the ids of its `/v1/place` events.
+fn place_trace_ids(path: &std::path::Path) -> Vec<String> {
+    let logged = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("trace log {} unreadable: {e}", path.display()));
+    let mut ids = Vec::new();
+    for line in logged.lines().filter(|l| !l.is_empty()) {
+        let event = pvfloorplan::json::parse(line)
+            .unwrap_or_else(|e| panic!("{}: bad JSONL '{line}': {e}", path.display()));
+        let id = event
+            .get("trace")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("{}: event without trace id: {line}", path.display()));
+        assert_eq!(id.len(), 16, "{}: trace id '{id}'", path.display());
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id}");
+        if event.get("target").and_then(|v| v.as_str()) == Some("/v1/place") {
+            ids.push(id.to_string());
+        }
+    }
+    ids
+}
+
+#[test]
+fn observability_leaves_place_bytes_untouched_at_any_worker_or_shard_count() {
+    let bodies = request_bodies();
+
+    // The reference: an observability-off server. Everything below —
+    // trace logs on, metrics scraped concurrently, workers multiplied,
+    // shards multiplied — must reproduce these exact bytes.
+    let reference_server = start_server(1);
+    let reference: Vec<String> = bodies
+        .iter()
+        .map(|b| post_place(reference_server.local_addr(), b))
+        .collect();
+    reference_server.shutdown();
+
+    let dir = std::env::temp_dir().join(format!("pvobs-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create obs dir");
+
+    // In-process: 1 vs 3 workers, trace log attached, scrapes in flight.
+    for threads in [1usize, 3] {
+        let log_path = dir.join(format!("serve-{threads}.trace"));
+        let log = pvfloorplan::obs::TraceLog::create(&log_path).expect("create trace log");
+        let service =
+            Arc::new(PlacementService::new(ServiceConfig::tiny()).with_trace_log(Arc::new(log)));
+        let server = Server::bind("127.0.0.1:0", service, Runtime::with_threads(threads), 16)
+            .expect("bind ephemeral port");
+
+        let by_request = fire_with_scrapes(server.local_addr(), &bodies, 3);
+        for (idx, responses) in by_request {
+            for response in &responses {
+                assert_eq!(
+                    response, &reference[idx],
+                    "request {idx}: tracing + scraping changed bytes at {threads} worker(s)"
+                );
+            }
+        }
+
+        // The exposition carries the serving counters for this traffic.
+        let (status, metrics) =
+            send_request(server.local_addr(), "GET", "/v1/metrics", b"").expect("metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\npv_place_ok_total 21"), "{metrics}");
+        server.shutdown();
+
+        let places = place_trace_ids(&log_path);
+        assert_eq!(
+            places.len(),
+            21,
+            "one event per placement (7 bodies x 3 clients)"
+        );
+    }
+
+    // Through the router: 1 vs 3 shards, router + per-shard trace logs,
+    // scrapes hitting the fleet-merged /v1/metrics the whole time.
+    for shards in [1usize, 3] {
+        let root = dir.join(format!("route-{shards}"));
+        let trace = root.join("router.trace");
+        let router = RouterProc::start(shards, &root, Some(&trace));
+
+        let by_request = fire_with_scrapes(router.addr, &bodies, 3);
+        for (idx, responses) in by_request {
+            for response in &responses {
+                assert_eq!(
+                    response, &reference[idx],
+                    "request {idx}: observability changed bytes at {shards} shard(s)"
+                );
+            }
+        }
+        let (status, metrics) =
+            send_request(router.addr, "GET", "/v1/metrics", b"").expect("metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("\npv_place_ok_total 21"), "{metrics}");
+        assert!(
+            metrics.contains(&format!("\npv_shards {shards}")),
+            "{metrics}"
+        );
+        drop(router);
+
+        // Trace propagation: every /v1/place event a worker logged uses
+        // the id the router minted for that request — the shared id is
+        // what joins a request's spans across the process boundary.
+        let router_ids = place_trace_ids(&trace);
+        assert_eq!(router_ids.len(), 21, "router logged every placement");
+        for k in 0..shards {
+            let worker_log = std::path::PathBuf::from(format!("{}.shard{k}", trace.display()));
+            for id in place_trace_ids(&worker_log) {
+                assert!(
+                    router_ids.contains(&id),
+                    "shard {k} logged trace id {id} the router never minted"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn router_survives_kill_dash_nine_of_a_worker_and_rehydrates_it() {
     let bodies = request_bodies();
     let root = std::env::temp_dir().join(format!("pvroute-kill-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    let router = RouterProc::start(2, &root);
+    // Tracing stays on through the whole kill/respawn cycle: the bytes
+    // below must be observability-blind even across a worker funeral.
+    let trace = root.join("router.trace");
+    let router = RouterProc::start(2, &root, Some(&trace));
 
     // Pre-kill baseline, and the shard map this test relies on: with two
     // shards the mix splits (specs 0/1 on one shard, spec 2 on the
@@ -568,6 +730,30 @@ fn router_survives_kill_dash_nine_of_a_worker_and_rehydrates_it() {
     let restarts = stats.get("shard_restarts").and_then(|v| v.as_number());
     assert!(restarts.is_some_and(|r| r >= 1.0), "restarts {restarts:?}");
 
+    // The respawned worker picked its trace log back up: the router's log
+    // and both shard logs hold valid post-restart events.
     drop(router);
+    for path in [
+        trace.clone(),
+        std::path::PathBuf::from(format!("{}.shard0", trace.display())),
+        std::path::PathBuf::from(format!("{}.shard1", trace.display())),
+    ] {
+        let logged = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("trace log {} unreadable: {e}", path.display()));
+        let events: Vec<_> = logged.lines().filter(|l| !l.is_empty()).collect();
+        assert!(!events.is_empty(), "{} logged nothing", path.display());
+        for line in events {
+            let event = pvfloorplan::json::parse(line)
+                .unwrap_or_else(|e| panic!("{}: bad JSONL '{line}': {e}", path.display()));
+            assert!(
+                event
+                    .get("trace")
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|t| t.len() == 16),
+                "{}: event without a trace id: {line}",
+                path.display()
+            );
+        }
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
